@@ -1,0 +1,49 @@
+// F1 (Figure 1): the customer tree of AS1 changes drastically when the
+// relationship of link 1-2 flips between p2c and p2p.  In (a) AS1 reaches
+// every node through p2c links; in (b) it reaches only AS3.
+#include <iostream>
+
+#include "harness.hpp"
+#include "topology/customer_tree.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace htor;
+  bench::print_header("F1 / bench_fig1_customer_tree",
+                      "flipping link 1-2 p2c<->p2p changes AS1's customer tree from "
+                      "all nodes to just AS3");
+
+  // The paper's toy topology: AS1 at the top, AS3 its direct customer, and
+  // AS2's subtree (AS4, AS5, AS6) below AS2.
+  auto build = [](Relationship rel_1_2) {
+    RelationshipMap rels;
+    rels.set(1, 2, rel_1_2);
+    rels.set(1, 3, Relationship::P2C);
+    rels.set(2, 4, Relationship::P2C);
+    rels.set(2, 5, Relationship::P2C);
+    rels.set(4, 6, Relationship::P2C);
+    return rels;
+  };
+
+  for (auto [label, rel] : {std::pair{"(a) link 1-2 = p2c", Relationship::P2C},
+                            std::pair{"(b) link 1-2 = p2p", Relationship::P2P}}) {
+    const RelationshipMap rels = build(rel);
+    const CustomerTreeAnalysis trees(rels);
+    std::cout << "\n" << label << "\n";
+    Table t({"root", "customer tree", "cone size"});
+    for (Asn root : {1u, 2u}) {
+      std::string members;
+      for (Asn asn : trees.tree_of(root)) {
+        if (!members.empty()) members += ' ';
+        members += "AS" + std::to_string(asn);
+      }
+      t.row({"AS" + std::to_string(root), members, std::to_string(trees.cone_size(root))});
+    }
+    t.print(std::cout);
+    const auto m = trees.union_metrics();
+    std::cout << "union-of-trees: nodes=" << m.nodes << " p2c-edges=" << m.edges
+              << " avg-valley-free-path=" << m.avg_path_length << " diameter=" << m.diameter
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,129 @@
+// P1: google-benchmark microbenchmarks for the hot paths of the pipeline —
+// MRT record parsing, BGP UPDATE decode, community dictionary application,
+// valley checking, and the constrained (valley-free) BFS.
+#include <benchmark/benchmark.h>
+
+#include "bgp/message.hpp"
+#include "core/community_inference.hpp"
+#include "harness.hpp"
+#include "core/pipeline.hpp"
+#include "gen/internet.hpp"
+#include "mrt/reader.hpp"
+#include "mrt/writer.hpp"
+#include "rpsl/object.hpp"
+#include "topology/reachability.hpp"
+#include "topology/valley.hpp"
+
+namespace {
+
+using namespace htor;
+
+/// Small shared dataset, built once.
+struct DatasetBits {
+  gen::SyntheticInternet net = gen::SyntheticInternet::generate(gen::small_params(3));
+  mrt::ObservedRib rib = net.collect();
+  std::vector<std::uint8_t> mrt_bytes;
+  rpsl::CommunityDictionary dict;
+  RelationshipMap rels;
+  std::vector<std::vector<Asn>> paths;
+
+  DatasetBits() {
+    mrt::MrtWriter writer;
+    for (const auto& rec : mrt::records_from_rib(rib, 1, "micro", 1281052800u)) {
+      writer.write(rec);
+    }
+    mrt_bytes = writer.take();
+    dict = rpsl::mine_dictionary(rpsl::parse_objects(net.irr_dump()));
+    rels = net.truth(IpVersion::V6);
+    for (const auto& route : rib.routes()) {
+      if (route.af == IpVersion::V6) paths.push_back(route.as_path);
+    }
+  }
+};
+
+const DatasetBits& bits() {
+  static const DatasetBits instance;
+  return instance;
+}
+
+void BM_MrtParseRib(benchmark::State& state) {
+  const auto& data = bits().mrt_bytes;
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    mrt::MrtReader reader(data);
+    while (auto rec = reader.next()) {
+      benchmark::DoNotOptimize(rec);
+      ++records;
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * data.size()));
+  state.counters["records"] = static_cast<double>(records) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MrtParseRib);
+
+void BM_BgpUpdateRoundTrip(benchmark::State& state) {
+  bgp::PathAttributes attrs;
+  attrs.origin = bgp::Origin::Igp;
+  attrs.as_path = bgp::AsPath::sequence({64500, 3356, 1299, 20940});
+  attrs.local_pref = 120;
+  attrs.communities = {bgp::Community(3356, 100), bgp::Community(1299, 2000)};
+  const auto update = bgp::make_ipv6_update(attrs, IpAddress::parse("2001:db8::1"),
+                                            {Prefix::parse("2001:db8:1000::/48")});
+  for (auto _ : state) {
+    const auto bytes = bgp::encode_message(update);
+    ByteReader reader(bytes);
+    auto decoded = bgp::decode_message(reader);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_BgpUpdateRoundTrip);
+
+void BM_CommunityInference(benchmark::State& state) {
+  const auto routes = bits().rib.routes_of(IpVersion::V6);
+  for (auto _ : state) {
+    auto result = core::infer_from_communities(routes, bits().dict);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["routes"] = static_cast<double>(routes.size());
+}
+BENCHMARK(BM_CommunityInference);
+
+void BM_ValleyCheck(benchmark::State& state) {
+  const auto& rels = bits().rels;
+  const auto& paths = bits().paths;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto result = check_valley_free(paths[i % paths.size()], rels);
+    benchmark::DoNotOptimize(result);
+    ++i;
+  }
+}
+BENCHMARK(BM_ValleyCheck);
+
+void BM_ConstrainedBfs(benchmark::State& state) {
+  const auto& net = bits().net;
+  ValleyFreeRouting vf(net.graph(), net.truth(IpVersion::V6), IpVersion::V6);
+  const auto ases = net.v6_ases();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto dist = vf.distances_from(ases[i % ases.size()]);
+    benchmark::DoNotOptimize(dist);
+    ++i;
+  }
+  state.counters["nodes"] = static_cast<double>(vf.node_count());
+}
+BENCHMARK(BM_ConstrainedBfs);
+
+void BM_DictionaryMining(benchmark::State& state) {
+  const std::string irr = bits().net.irr_dump();
+  for (auto _ : state) {
+    auto dict = rpsl::mine_dictionary(rpsl::parse_objects(irr));
+    benchmark::DoNotOptimize(dict);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * irr.size()));
+}
+BENCHMARK(BM_DictionaryMining);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Shared experiment harness for the bench binaries.
+//
+// Every bench regenerates the default synthetic Internet from its seed, runs
+// the *full* pipeline a real study would run — propagate, serialize the
+// collector RIB to MRT bytes, parse the bytes back, mine the IRR text, infer
+// — and reports paper-vs-measured rows.  Nothing is cached across benches so
+// each binary is independently reproducible.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/census_report.hpp"
+#include "gen/internet.hpp"
+#include "mrt/rib_view.hpp"
+#include "rpsl/community_dict.hpp"
+
+namespace htor::bench {
+
+struct Dataset {
+  gen::SyntheticInternet net;
+  mrt::ObservedRib rib;               ///< parsed back from MRT bytes
+  rpsl::CommunityDictionary dict;     ///< mined from the IRR text
+  std::size_t mrt_bytes = 0;          ///< size of the serialized RIB dumps
+  std::size_t mrt_records = 0;
+};
+
+/// Build the default dataset (seed 42 unless overridden).
+Dataset make_dataset(std::uint64_t seed = 42);
+
+/// Build a dataset from explicit params.
+Dataset make_dataset(const gen::GenParams& params);
+
+/// Print a standard bench header.
+void print_header(const std::string& experiment_id, const std::string& claim);
+
+}  // namespace htor::bench

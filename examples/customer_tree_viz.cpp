@@ -1,0 +1,74 @@
+// Figure-1 style customer-tree visualization: builds the paper's 6-AS toy
+// topology, prints the customer trees under both interpretations of the
+// 1-2 link, and emits Graphviz DOT for both variants.
+//
+// Usage:  customer_tree_viz [--dot]    (--dot prints DOT instead of text)
+#include <cstring>
+#include <iostream>
+
+#include "topology/customer_tree.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+htor::RelationshipMap figure1(htor::Relationship rel_1_2) {
+  htor::RelationshipMap rels;
+  rels.set(1, 2, rel_1_2);
+  rels.set(1, 3, htor::Relationship::P2C);
+  rels.set(2, 4, htor::Relationship::P2C);
+  rels.set(2, 5, htor::Relationship::P2C);
+  rels.set(4, 6, htor::Relationship::P2C);
+  return rels;
+}
+
+void emit_dot(const htor::RelationshipMap& rels, const char* name) {
+  std::cout << "digraph " << name << " {\n  rankdir=TB;\n  node [shape=circle];\n";
+  rels.for_each([](const htor::LinkKey& key, htor::Relationship rel) {
+    using htor::Relationship;
+    switch (rel) {
+      case Relationship::P2C:
+        std::cout << "  AS" << key.first << " -> AS" << key.second << " [label=\"p2c\"];\n";
+        break;
+      case Relationship::C2P:
+        std::cout << "  AS" << key.second << " -> AS" << key.first << " [label=\"p2c\"];\n";
+        break;
+      default:
+        std::cout << "  AS" << key.first << " -> AS" << key.second
+                  << " [dir=none, style=dashed, label=\"" << to_string(rel) << "\"];\n";
+        break;
+    }
+  });
+  std::cout << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace htor;
+  const bool dot = argc > 1 && std::strcmp(argv[1], "--dot") == 0;
+
+  for (auto [label, rel] : {std::pair{"(a) link 1-2 = p2c", Relationship::P2C},
+                            std::pair{"(b) link 1-2 = p2p", Relationship::P2P}}) {
+    const auto rels = figure1(rel);
+    if (dot) {
+      emit_dot(rels, rel == Relationship::P2C ? "figure1a" : "figure1b");
+      continue;
+    }
+    std::cout << "\n" << label << "\n";
+    const CustomerTreeAnalysis trees(rels);
+    for (Asn root : {1u, 2u, 4u}) {
+      std::cout << "  customer tree of AS" << root << ":";
+      for (Asn asn : trees.tree_of(root)) std::cout << " AS" << asn;
+      std::cout << "  (cone " << trees.cone_size(root) << ")\n";
+    }
+    const auto m = trees.union_metrics();
+    std::cout << "  union: " << m.edges << " p2c edges, avg valley-free path "
+              << fmt_double(m.avg_path_length, 2) << ", diameter " << m.diameter << "\n";
+  }
+  if (!dot) {
+    std::cout << "\nThe paper's point: a single relationship flip moves whole subtrees in or\n"
+                 "out of an AS's customer tree — and prior AF-agnostic inference flips "
+                 "hundreds\nof IPv6 links at once.  Run with --dot for Graphviz output.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Degree-rank ToR baseline in the spirit of Dimitropoulos et al. (CCR 2007):
+// transit degrees are computed from path triples, and each link is typed by
+// the ratio of its endpoints' transit degrees.  Also address-family agnostic.
+#pragma once
+
+#include "topology/path_store.hpp"
+#include "topology/relationship.hpp"
+
+namespace htor::baselines {
+
+struct DegreeRankParams {
+  /// Endpoint transit-degree ratio above which the larger side is provider.
+  double provider_ratio = 2.0;
+};
+
+struct DegreeRankResult {
+  RelationshipMap rels;
+  std::size_t transit_links = 0;
+  std::size_t peer_links = 0;
+};
+
+DegreeRankResult infer_degree_rank(const PathStore& paths, const DegreeRankParams& params = {});
+
+}  // namespace htor::baselines

@@ -1,0 +1,41 @@
+// Gao's relationship inference algorithm (ToN 2001), the canonical
+// valley-free heuristic the paper contrasts with.
+//
+// Like the prior work the paper critiques ([1], [4]), the algorithm is
+// address-family agnostic: feed it the union of IPv4 and IPv6 paths and it
+// produces one relationship per link — which is precisely what manufactures
+// the misinference on hybrid links that Figure 2 quantifies.
+//
+// Sketch: every path is assumed valley-free with its highest-degree AS at
+// the top; links before the top vote "climbing" (c2p), links after vote
+// "descending" (p2c).  Links with votes both ways within a factor of L are
+// siblings; links with no transit votes whose endpoint degrees are within a
+// factor of R are peers.
+#pragma once
+
+#include <cstddef>
+
+#include "topology/path_store.hpp"
+#include "topology/relationship.hpp"
+
+namespace htor::baselines {
+
+struct GaoParams {
+  /// Sibling threshold: both directions have votes and the minority side
+  /// has at least 1/L of the majority's votes.
+  double sibling_ratio = 0.5;
+  /// Degree ratio under which an unvoted link is classified p2p.
+  double peer_degree_ratio = 60.0;
+};
+
+struct GaoResult {
+  RelationshipMap rels;
+  std::size_t transit_links = 0;
+  std::size_t peer_links = 0;
+  std::size_t sibling_links = 0;
+};
+
+/// Run Gao's algorithm over the (possibly mixed-family) path set.
+GaoResult infer_gao(const PathStore& paths, const GaoParams& params = {});
+
+}  // namespace htor::baselines

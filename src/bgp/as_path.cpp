@@ -1,0 +1,101 @@
+#include "bgp/as_path.hpp"
+
+#include <unordered_set>
+
+namespace htor::bgp {
+
+AsPath AsPath::sequence(std::vector<Asn> asns) {
+  AsPath p;
+  if (!asns.empty()) {
+    p.segments_.push_back(AsPathSegment{AsSegmentType::Sequence, std::move(asns)});
+  }
+  return p;
+}
+
+void AsPath::prepend(Asn asn, std::size_t count) {
+  if (count == 0) return;
+  if (segments_.empty() || segments_.front().type != AsSegmentType::Sequence) {
+    segments_.insert(segments_.begin(), AsPathSegment{AsSegmentType::Sequence, {}});
+  }
+  auto& front = segments_.front().asns;
+  front.insert(front.begin(), count, asn);
+}
+
+std::vector<Asn> AsPath::flatten() const {
+  std::vector<Asn> out;
+  for (const auto& seg : segments_) {
+    out.insert(out.end(), seg.asns.begin(), seg.asns.end());
+  }
+  return out;
+}
+
+std::size_t AsPath::decision_length() const {
+  std::size_t len = 0;
+  for (const auto& seg : segments_) {
+    len += seg.type == AsSegmentType::Set ? 1 : seg.asns.size();
+  }
+  return len;
+}
+
+Asn AsPath::first() const {
+  for (const auto& seg : segments_) {
+    if (!seg.asns.empty()) return seg.asns.front();
+  }
+  return 0;
+}
+
+Asn AsPath::origin() const {
+  for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+    if (!it->asns.empty()) return it->asns.back();
+  }
+  return 0;
+}
+
+bool AsPath::has_loop() const {
+  const auto deduped = flatten_deduped();
+  std::unordered_set<Asn> seen;
+  for (Asn a : deduped) {
+    if (!seen.insert(a).second) return true;
+  }
+  return false;
+}
+
+bool AsPath::contains(Asn asn) const {
+  for (const auto& seg : segments_) {
+    for (Asn a : seg.asns) {
+      if (a == asn) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Asn> AsPath::flatten_deduped() const {
+  std::vector<Asn> out;
+  for (Asn a : flatten()) {
+    if (out.empty() || out.back() != a) out.push_back(a);
+  }
+  return out;
+}
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (const auto& seg : segments_) {
+    if (!out.empty()) out += ' ';
+    if (seg.type == AsSegmentType::Set) {
+      out += '{';
+      for (std::size_t i = 0; i < seg.asns.size(); ++i) {
+        if (i) out += ',';
+        out += std::to_string(seg.asns[i]);
+      }
+      out += '}';
+    } else {
+      for (std::size_t i = 0; i < seg.asns.size(); ++i) {
+        if (i) out += ' ';
+        out += std::to_string(seg.asns[i]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace htor::bgp

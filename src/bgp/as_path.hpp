@@ -1,0 +1,71 @@
+// AS_PATH attribute model (RFC 4271 §5.1.2, 4-byte encoding per RFC 6793).
+//
+// A path is a list of segments, each an AS_SEQUENCE or AS_SET.  Analysis code
+// mostly works on the flattened ASN list; the segment structure is preserved
+// for faithful re-encoding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netbase/asn.hpp"
+
+namespace htor::bgp {
+
+enum class AsSegmentType : std::uint8_t { Set = 1, Sequence = 2 };
+
+struct AsPathSegment {
+  AsSegmentType type = AsSegmentType::Sequence;
+  std::vector<Asn> asns;
+
+  friend bool operator==(const AsPathSegment&, const AsPathSegment&) = default;
+};
+
+class AsPath {
+ public:
+  AsPath() = default;
+
+  /// A single AS_SEQUENCE segment — the overwhelmingly common case.
+  static AsPath sequence(std::vector<Asn> asns);
+
+  const std::vector<AsPathSegment>& segments() const { return segments_; }
+  bool empty() const { return segments_.empty(); }
+
+  void add_segment(AsPathSegment seg) { segments_.push_back(std::move(seg)); }
+
+  /// Prepend `asn` `count` times to the front (what an exporting AS does).
+  void prepend(Asn asn, std::size_t count = 1);
+
+  /// All ASNs in order, sets flattened in place.
+  std::vector<Asn> flatten() const;
+
+  /// Path length for the BGP decision process: each sequence ASN counts 1,
+  /// each AS_SET counts 1 in total (RFC 4271 §9.1.2.2).
+  std::size_t decision_length() const;
+
+  /// First ASN (the neighbor that sent the route); 0 when empty.
+  Asn first() const;
+  /// Last ASN (the origin); 0 when empty.
+  Asn origin() const;
+
+  /// True when any ASN appears twice in non-adjacent positions (adjacent
+  /// repeats are prepending, not loops).
+  bool has_loop() const;
+
+  /// True when `asn` appears anywhere in the path.
+  bool contains(Asn asn) const;
+
+  /// De-prepended copy of flatten(): adjacent duplicates collapsed.
+  std::vector<Asn> flatten_deduped() const;
+
+  /// "701 3356 3356 1299" / "{64500,64501}" rendering.
+  std::string to_string() const;
+
+  friend bool operator==(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<AsPathSegment> segments_;
+};
+
+}  // namespace htor::bgp

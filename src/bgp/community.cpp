@@ -1,0 +1,60 @@
+#include "bgp/community.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace htor::bgp {
+
+std::string Community::to_string() const {
+  return std::to_string(asn()) + ":" + std::to_string(value());
+}
+
+bool Community::try_parse(std::string_view text, Community& out) {
+  const auto colon = text.find(':');
+  if (colon == std::string_view::npos) return false;
+  std::uint64_t a = 0;
+  std::uint64_t v = 0;
+  if (!parse_u64(text.substr(0, colon), a) || !parse_u64(text.substr(colon + 1), v)) return false;
+  if (a > 0xffff || v > 0xffff) return false;
+  out = Community(static_cast<std::uint16_t>(a), static_cast<std::uint16_t>(v));
+  return true;
+}
+
+Community Community::parse(std::string_view text) {
+  Community out;
+  if (!try_parse(text, out)) throw ParseError("bad community '" + std::string(text) + "'");
+  return out;
+}
+
+std::string LargeCommunity::to_string() const {
+  return std::to_string(global) + ":" + std::to_string(local1) + ":" + std::to_string(local2);
+}
+
+bool LargeCommunity::try_parse(std::string_view text, LargeCommunity& out) {
+  auto parts = split(text, ':');
+  if (parts.size() != 3) return false;
+  std::uint64_t g = 0;
+  std::uint64_t l1 = 0;
+  std::uint64_t l2 = 0;
+  if (!parse_u64(parts[0], g) || !parse_u64(parts[1], l1) || !parse_u64(parts[2], l2)) return false;
+  if (g > 0xffffffffull || l1 > 0xffffffffull || l2 > 0xffffffffull) return false;
+  out = LargeCommunity{static_cast<std::uint32_t>(g), static_cast<std::uint32_t>(l1),
+                       static_cast<std::uint32_t>(l2)};
+  return true;
+}
+
+LargeCommunity LargeCommunity::parse(std::string_view text) {
+  LargeCommunity out;
+  if (!try_parse(text, out)) throw ParseError("bad large community '" + std::string(text) + "'");
+  return out;
+}
+
+std::vector<Community> normalized(std::vector<Community> communities) {
+  std::sort(communities.begin(), communities.end());
+  communities.erase(std::unique(communities.begin(), communities.end()), communities.end());
+  return communities;
+}
+
+}  // namespace htor::bgp

@@ -1,0 +1,68 @@
+// RFC 1997 communities and RFC 8092 large communities.
+//
+// A classic community is a 32-bit value conventionally written and
+// interpreted as <asn>:<value>; the ASN half identifies whose dictionary the
+// value belongs to, which is exactly the property the paper's mining step
+// relies on.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/asn.hpp"
+
+namespace htor::bgp {
+
+class Community {
+ public:
+  constexpr Community() = default;
+  explicit constexpr Community(std::uint32_t raw) : raw_(raw) {}
+  constexpr Community(std::uint16_t asn, std::uint16_t value)
+      : raw_(static_cast<std::uint32_t>(asn) << 16 | value) {}
+
+  constexpr std::uint32_t raw() const { return raw_; }
+  constexpr std::uint16_t asn() const { return static_cast<std::uint16_t>(raw_ >> 16); }
+  constexpr std::uint16_t value() const { return static_cast<std::uint16_t>(raw_ & 0xffff); }
+
+  /// "64500:120" form.
+  std::string to_string() const;
+
+  /// Parse "asn:value".  Throws ParseError.
+  static Community parse(std::string_view text);
+  static bool try_parse(std::string_view text, Community& out);
+
+  friend constexpr bool operator==(Community a, Community b) { return a.raw_ == b.raw_; }
+  friend constexpr std::strong_ordering operator<=>(Community a, Community b) {
+    return a.raw_ <=> b.raw_;
+  }
+
+ private:
+  std::uint32_t raw_ = 0;
+};
+
+/// RFC 1997 well-known communities.
+inline constexpr Community kNoExport{0xffffff01};
+inline constexpr Community kNoAdvertise{0xffffff02};
+inline constexpr Community kNoExportSubconfed{0xffffff03};
+
+/// RFC 8092 large community: asn:local1:local2, each 32 bits.
+struct LargeCommunity {
+  std::uint32_t global = 0;
+  std::uint32_t local1 = 0;
+  std::uint32_t local2 = 0;
+
+  std::string to_string() const;
+  static LargeCommunity parse(std::string_view text);
+  static bool try_parse(std::string_view text, LargeCommunity& out);
+
+  friend bool operator==(const LargeCommunity&, const LargeCommunity&) = default;
+  friend std::strong_ordering operator<=>(const LargeCommunity&, const LargeCommunity&) = default;
+};
+
+/// Sorted, deduplicated copy — the canonical form for set comparison.
+std::vector<Community> normalized(std::vector<Community> communities);
+
+}  // namespace htor::bgp

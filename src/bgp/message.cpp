@@ -1,0 +1,148 @@
+#include "bgp/message.hpp"
+
+#include <algorithm>
+
+namespace htor::bgp {
+
+namespace {
+
+constexpr std::uint8_t kMarkerByte = 0xff;
+
+void check_marker(ByteReader& r) {
+  auto marker = r.bytes(16);
+  if (!std::all_of(marker.begin(), marker.end(),
+                   [](std::uint8_t b) { return b == kMarkerByte; })) {
+    throw DecodeError("BGP marker is not all-ones");
+  }
+}
+
+std::vector<std::uint8_t> encode_body(const Message& msg) {
+  ByteWriter w;
+  if (const auto* open = std::get_if<OpenMessage>(&msg)) {
+    w.u8(open->version);
+    const Asn wire_as = is_4byte(open->my_as) ? kAsTrans : open->my_as;
+    w.u16(static_cast<std::uint16_t>(wire_as));
+    w.u16(open->hold_time);
+    w.u32(open->bgp_id);
+    if (open->optional_params.size() > 0xff) {
+      throw InvalidArgument("OPEN optional parameters too long");
+    }
+    w.u8(static_cast<std::uint8_t>(open->optional_params.size()));
+    w.bytes(open->optional_params);
+  } else if (const auto* update = std::get_if<UpdateMessage>(&msg)) {
+    ByteWriter withdrawn;
+    for (const auto& p : update->withdrawn) {
+      if (!p.address().is_v4()) {
+        throw InvalidArgument("top-level withdrawn routes must be IPv4 (use MP_UNREACH for IPv6)");
+      }
+      encode_nlri_prefix(withdrawn, p);
+    }
+    const auto attrs = encode_path_attributes(update->attrs);
+    w.u16(static_cast<std::uint16_t>(withdrawn.size()));
+    w.bytes(withdrawn.data());
+    w.u16(static_cast<std::uint16_t>(attrs.size()));
+    w.bytes(attrs);
+    for (const auto& p : update->nlri) {
+      if (!p.address().is_v4()) {
+        throw InvalidArgument("top-level NLRI must be IPv4 (use MP_REACH for IPv6)");
+      }
+      encode_nlri_prefix(w, p);
+    }
+  } else if (const auto* notif = std::get_if<NotificationMessage>(&msg)) {
+    w.u8(notif->code);
+    w.u8(notif->subcode);
+    w.bytes(notif->data);
+  }
+  // KEEPALIVE: empty body.
+  return w.take();
+}
+
+}  // namespace
+
+MessageType type_of(const Message& msg) {
+  if (std::holds_alternative<OpenMessage>(msg)) return MessageType::Open;
+  if (std::holds_alternative<UpdateMessage>(msg)) return MessageType::Update;
+  if (std::holds_alternative<NotificationMessage>(msg)) return MessageType::Notification;
+  return MessageType::Keepalive;
+}
+
+std::vector<std::uint8_t> encode_message(const Message& msg) {
+  const auto body = encode_body(msg);
+  const std::size_t total = kMessageHeaderSize + body.size();
+  if (total > kMaxMessageSize) {
+    throw InvalidArgument("BGP message length " + std::to_string(total) + " exceeds 4096");
+  }
+  ByteWriter w;
+  for (int i = 0; i < 16; ++i) w.u8(kMarkerByte);
+  w.u16(static_cast<std::uint16_t>(total));
+  w.u8(static_cast<std::uint8_t>(type_of(msg)));
+  w.bytes(body);
+  return w.take();
+}
+
+Message decode_message(ByteReader& r) {
+  check_marker(r);
+  const std::uint16_t length = r.u16();
+  if (length < kMessageHeaderSize || length > kMaxMessageSize) {
+    throw DecodeError("BGP message length " + std::to_string(length));
+  }
+  const std::uint8_t type = r.u8();
+  ByteReader body = r.sub(length - kMessageHeaderSize);
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::Open: {
+      OpenMessage open;
+      open.version = body.u8();
+      open.my_as = body.u16();
+      open.hold_time = body.u16();
+      open.bgp_id = body.u32();
+      const std::uint8_t opt_len = body.u8();
+      open.optional_params = body.bytes_copy(opt_len);
+      return open;
+    }
+    case MessageType::Update: {
+      UpdateMessage update;
+      const std::uint16_t wlen = body.u16();
+      ByteReader wsub = body.sub(wlen);
+      update.withdrawn = decode_nlri_list(wsub, IpVersion::V4);
+      const std::uint16_t alen = body.u16();
+      ByteReader asub = body.sub(alen);
+      update.attrs = decode_path_attributes(asub);
+      update.nlri = decode_nlri_list(body, IpVersion::V4);
+      return update;
+    }
+    case MessageType::Notification: {
+      NotificationMessage notif;
+      notif.code = body.u8();
+      notif.subcode = body.u8();
+      notif.data = body.bytes_copy(body.remaining());
+      return notif;
+    }
+    case MessageType::Keepalive:
+      if (!body.exhausted()) throw DecodeError("KEEPALIVE with body");
+      return KeepaliveMessage{};
+    default:
+      throw DecodeError("BGP message type " + std::to_string(type));
+  }
+}
+
+UpdateMessage make_ipv6_update(const PathAttributes& base, const IpAddress& next_hop,
+                               std::vector<Prefix> prefixes) {
+  if (!next_hop.is_v6()) throw InvalidArgument("make_ipv6_update: next hop must be IPv6");
+  for (const auto& p : prefixes) {
+    if (p.version() != IpVersion::V6) {
+      throw InvalidArgument("make_ipv6_update: IPv4 prefix in IPv6 NLRI");
+    }
+  }
+  UpdateMessage update;
+  update.attrs = base;
+  MpReachNlri mp;
+  mp.afi = Afi::Ipv6;
+  mp.safi = Safi::Unicast;
+  mp.next_hops = {next_hop};
+  mp.nlri = std::move(prefixes);
+  update.attrs.mp_reach = std::move(mp);
+  update.attrs.next_hop.reset();  // IPv6 updates carry no top-level NEXT_HOP
+  return update;
+}
+
+}  // namespace htor::bgp

@@ -1,0 +1,66 @@
+// BGP-4 message codec (RFC 4271).
+//
+// The collector pipeline mostly needs UPDATE, but OPEN / NOTIFICATION /
+// KEEPALIVE are modelled too so the library is usable as a general BGP
+// message codec (MRT BGP4MP records can carry any of them).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bgp/path_attrs.hpp"
+#include "bgp/types.hpp"
+
+namespace htor::bgp {
+
+struct OpenMessage {
+  std::uint8_t version = 4;
+  Asn my_as = 0;          // 2-byte field on the wire; kAsTrans when 4-byte
+  std::uint16_t hold_time = 180;
+  std::uint32_t bgp_id = 0;
+  std::vector<std::uint8_t> optional_params;  // raw capabilities blob
+
+  friend bool operator==(const OpenMessage&, const OpenMessage&) = default;
+};
+
+struct UpdateMessage {
+  std::vector<Prefix> withdrawn;  // IPv4 withdrawn routes
+  PathAttributes attrs;
+  std::vector<Prefix> nlri;  // IPv4 announced routes
+
+  friend bool operator==(const UpdateMessage&, const UpdateMessage&) = default;
+};
+
+struct NotificationMessage {
+  std::uint8_t code = 0;
+  std::uint8_t subcode = 0;
+  std::vector<std::uint8_t> data;
+
+  friend bool operator==(const NotificationMessage&, const NotificationMessage&) = default;
+};
+
+struct KeepaliveMessage {
+  friend bool operator==(const KeepaliveMessage&, const KeepaliveMessage&) = default;
+};
+
+using Message = std::variant<OpenMessage, UpdateMessage, NotificationMessage, KeepaliveMessage>;
+
+MessageType type_of(const Message& msg);
+
+/// Serialize with marker/length/type header.  Throws InvalidArgument when the
+/// result would exceed the 4096-byte BGP maximum.
+std::vector<std::uint8_t> encode_message(const Message& msg);
+
+/// Parse one message; the reader must start at the 16-byte marker.  The
+/// reader is left positioned after the message, so a stream of messages can
+/// be decoded by repeated calls.
+Message decode_message(ByteReader& r);
+
+/// Convenience: an UPDATE carrying IPv6 routes in MP_REACH_NLRI.
+UpdateMessage make_ipv6_update(const PathAttributes& base, const IpAddress& next_hop,
+                               std::vector<Prefix> prefixes);
+
+}  // namespace htor::bgp

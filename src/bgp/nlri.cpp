@@ -1,0 +1,35 @@
+#include "bgp/nlri.hpp"
+
+#include <array>
+
+namespace htor::bgp {
+
+void encode_nlri_prefix(ByteWriter& w, const Prefix& prefix) {
+  w.u8(prefix.length());
+  const std::size_t nbytes = (prefix.length() + 7) / 8;
+  w.bytes(prefix.address().bytes().subspan(0, nbytes));
+}
+
+Prefix decode_nlri_prefix(ByteReader& r, IpVersion version) {
+  const std::uint8_t len = r.u8();
+  if (len > address_bits(version)) {
+    throw DecodeError("NLRI prefix length " + std::to_string(len) + " too long for " +
+                      std::string(to_string(version)));
+  }
+  const std::size_t nbytes = (len + 7) / 8;
+  std::array<std::uint8_t, 16> raw{};
+  auto view = r.bytes(nbytes);
+  std::copy(view.begin(), view.end(), raw.begin());
+  IpAddress addr = version == IpVersion::V4
+                       ? IpAddress(IpVersion::V4, std::span<const std::uint8_t>(raw.data(), 4))
+                       : IpAddress(IpVersion::V6, std::span<const std::uint8_t>(raw.data(), 16));
+  return Prefix(addr, len);
+}
+
+std::vector<Prefix> decode_nlri_list(ByteReader& r, IpVersion version) {
+  std::vector<Prefix> out;
+  while (!r.exhausted()) out.push_back(decode_nlri_prefix(r, version));
+  return out;
+}
+
+}  // namespace htor::bgp

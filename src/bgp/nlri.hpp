@@ -1,0 +1,23 @@
+// NLRI wire form: <length-in-bits:1 byte> <prefix bytes: ceil(len/8)>.
+// Shared by UPDATE bodies, MP_REACH/MP_UNREACH attributes, and MRT RIB
+// entries.
+#pragma once
+
+#include <vector>
+
+#include "netbase/prefix.hpp"
+#include "util/bytes.hpp"
+
+namespace htor::bgp {
+
+/// Append one prefix in NLRI form.
+void encode_nlri_prefix(ByteWriter& w, const Prefix& prefix);
+
+/// Read one prefix of family `version`.  Throws DecodeError on truncation or
+/// an over-long length field.
+Prefix decode_nlri_prefix(ByteReader& r, IpVersion version);
+
+/// Read prefixes until the reader is exhausted.
+std::vector<Prefix> decode_nlri_list(ByteReader& r, IpVersion version);
+
+}  // namespace htor::bgp

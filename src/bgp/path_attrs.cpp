@@ -1,0 +1,285 @@
+#include "bgp/path_attrs.hpp"
+
+#include <algorithm>
+
+namespace htor::bgp {
+
+namespace {
+
+// Append one attribute with the right flag bits and (extended) length field.
+void put_attr(ByteWriter& w, std::uint8_t flags, PathAttrType type,
+              const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > 0xff) flags |= kAttrFlagExtendedLength;
+  w.u8(flags);
+  w.u8(static_cast<std::uint8_t>(type));
+  if (flags & kAttrFlagExtendedLength) {
+    w.u16(static_cast<std::uint16_t>(payload.size()));
+  } else {
+    w.u8(static_cast<std::uint8_t>(payload.size()));
+  }
+  w.bytes(payload);
+}
+
+std::vector<std::uint8_t> encode_as_path(const AsPath& path) {
+  ByteWriter w;
+  for (const auto& seg : path.segments()) {
+    w.u8(static_cast<std::uint8_t>(seg.type));
+    w.u8(static_cast<std::uint8_t>(seg.asns.size()));
+    for (Asn a : seg.asns) w.u32(a);
+  }
+  return w.take();
+}
+
+AsPath decode_as_path(ByteReader r) {
+  AsPath path;
+  while (!r.exhausted()) {
+    AsPathSegment seg;
+    const std::uint8_t type = r.u8();
+    if (type != 1 && type != 2) {
+      throw DecodeError("AS_PATH segment type " + std::to_string(type));
+    }
+    seg.type = static_cast<AsSegmentType>(type);
+    const std::uint8_t count = r.u8();
+    seg.asns.reserve(count);
+    for (std::uint8_t i = 0; i < count; ++i) seg.asns.push_back(r.u32());
+    path.add_segment(std::move(seg));
+  }
+  return path;
+}
+
+IpAddress read_address(ByteReader& r, IpVersion version) {
+  auto raw = r.bytes(address_bytes(version));
+  return IpAddress(version, raw);
+}
+
+IpVersion version_of(Afi afi) { return afi == Afi::Ipv4 ? IpVersion::V4 : IpVersion::V6; }
+
+std::vector<std::uint8_t> encode_mp_reach(const MpReachNlri& mp) {
+  ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(mp.afi));
+  w.u8(static_cast<std::uint8_t>(mp.safi));
+  std::size_t nh_len = 0;
+  for (const auto& nh : mp.next_hops) nh_len += nh.bytes().size();
+  w.u8(static_cast<std::uint8_t>(nh_len));
+  for (const auto& nh : mp.next_hops) w.bytes(nh.bytes());
+  w.u8(0);  // reserved (SNPA count in RFC 2858; must be 0 per RFC 4760)
+  for (const auto& p : mp.nlri) encode_nlri_prefix(w, p);
+  return w.take();
+}
+
+MpReachNlri decode_mp_reach(ByteReader r) {
+  MpReachNlri mp;
+  const std::uint16_t afi = r.u16();
+  if (afi != 1 && afi != 2) throw DecodeError("MP_REACH AFI " + std::to_string(afi));
+  mp.afi = static_cast<Afi>(afi);
+  const std::uint8_t safi = r.u8();
+  if (safi != 1 && safi != 2) throw DecodeError("MP_REACH SAFI " + std::to_string(safi));
+  mp.safi = static_cast<Safi>(safi);
+  const IpVersion ver = version_of(mp.afi);
+  std::size_t nh_len = r.u8();
+  const std::size_t unit = address_bytes(ver);
+  if (nh_len % unit != 0) throw DecodeError("MP_REACH next-hop length " + std::to_string(nh_len));
+  while (nh_len > 0) {
+    mp.next_hops.push_back(read_address(r, ver));
+    nh_len -= unit;
+  }
+  r.skip(1);  // reserved
+  mp.nlri = decode_nlri_list(r, ver);
+  return mp;
+}
+
+// Abbreviated MRT-RIB form: just <nh len><next hops>; family is inferred
+// from the next-hop size (16/32 bytes -> IPv6).
+std::vector<std::uint8_t> encode_mp_reach_mrt(const MpReachNlri& mp) {
+  ByteWriter w;
+  std::size_t nh_len = 0;
+  for (const auto& nh : mp.next_hops) nh_len += nh.bytes().size();
+  w.u8(static_cast<std::uint8_t>(nh_len));
+  for (const auto& nh : mp.next_hops) w.bytes(nh.bytes());
+  return w.take();
+}
+
+MpReachNlri decode_mp_reach_mrt(ByteReader r) {
+  MpReachNlri mp;
+  std::size_t nh_len = r.u8();
+  const IpVersion ver = (nh_len % 16 == 0 && nh_len > 0) ? IpVersion::V6 : IpVersion::V4;
+  mp.afi = ver == IpVersion::V6 ? Afi::Ipv6 : Afi::Ipv4;
+  mp.safi = Safi::Unicast;
+  const std::size_t unit = address_bytes(ver);
+  if (nh_len % unit != 0) {
+    throw DecodeError("MRT MP_REACH next-hop length " + std::to_string(nh_len));
+  }
+  while (nh_len > 0) {
+    mp.next_hops.push_back(read_address(r, ver));
+    nh_len -= unit;
+  }
+  return mp;
+}
+
+std::vector<std::uint8_t> encode_mp_unreach(const MpUnreachNlri& mp) {
+  ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(mp.afi));
+  w.u8(static_cast<std::uint8_t>(mp.safi));
+  for (const auto& p : mp.withdrawn) encode_nlri_prefix(w, p);
+  return w.take();
+}
+
+MpUnreachNlri decode_mp_unreach(ByteReader r) {
+  MpUnreachNlri mp;
+  const std::uint16_t afi = r.u16();
+  if (afi != 1 && afi != 2) throw DecodeError("MP_UNREACH AFI " + std::to_string(afi));
+  mp.afi = static_cast<Afi>(afi);
+  const std::uint8_t safi = r.u8();
+  if (safi != 1 && safi != 2) throw DecodeError("MP_UNREACH SAFI " + std::to_string(safi));
+  mp.safi = static_cast<Safi>(safi);
+  mp.withdrawn = decode_nlri_list(r, version_of(mp.afi));
+  return mp;
+}
+
+}  // namespace
+
+bool PathAttributes::has_community(Community c) const {
+  return std::find(communities.begin(), communities.end(), c) != communities.end();
+}
+
+std::vector<std::uint8_t> encode_path_attributes(const PathAttributes& attrs, MpReachForm form) {
+  ByteWriter w;
+  constexpr std::uint8_t kWellKnown = kAttrFlagTransitive;
+  constexpr std::uint8_t kOptTrans = kAttrFlagOptional | kAttrFlagTransitive;
+  constexpr std::uint8_t kOptNonTrans = kAttrFlagOptional;
+
+  if (attrs.origin) {
+    put_attr(w, kWellKnown, PathAttrType::Origin,
+             {static_cast<std::uint8_t>(*attrs.origin)});
+  }
+  if (!attrs.as_path.empty()) {
+    put_attr(w, kWellKnown, PathAttrType::AsPath, encode_as_path(attrs.as_path));
+  }
+  if (attrs.next_hop) {
+    if (!attrs.next_hop->is_v4()) throw InvalidArgument("NEXT_HOP attribute must be IPv4");
+    auto b = attrs.next_hop->bytes();
+    put_attr(w, kWellKnown, PathAttrType::NextHop, {b.begin(), b.end()});
+  }
+  if (attrs.med) {
+    ByteWriter p;
+    p.u32(*attrs.med);
+    put_attr(w, kOptNonTrans, PathAttrType::Med, p.data());
+  }
+  if (attrs.local_pref) {
+    ByteWriter p;
+    p.u32(*attrs.local_pref);
+    put_attr(w, kWellKnown, PathAttrType::LocalPref, p.data());
+  }
+  if (attrs.atomic_aggregate) {
+    put_attr(w, kWellKnown, PathAttrType::AtomicAggregate, {});
+  }
+  if (attrs.aggregator) {
+    ByteWriter p;
+    p.u32(attrs.aggregator->asn);
+    if (!attrs.aggregator->router_id.is_v4()) {
+      throw InvalidArgument("AGGREGATOR router id must be IPv4");
+    }
+    p.bytes(attrs.aggregator->router_id.bytes());
+    put_attr(w, kOptTrans, PathAttrType::Aggregator, p.data());
+  }
+  if (!attrs.communities.empty()) {
+    ByteWriter p;
+    for (Community c : attrs.communities) p.u32(c.raw());
+    put_attr(w, kOptTrans, PathAttrType::Communities, p.data());
+  }
+  if (attrs.mp_reach) {
+    put_attr(w, kOptNonTrans, PathAttrType::MpReachNlri,
+             form == MpReachForm::Full ? encode_mp_reach(*attrs.mp_reach)
+                                       : encode_mp_reach_mrt(*attrs.mp_reach));
+  }
+  if (attrs.mp_unreach) {
+    put_attr(w, kOptNonTrans, PathAttrType::MpUnreachNlri, encode_mp_unreach(*attrs.mp_unreach));
+  }
+  if (!attrs.large_communities.empty()) {
+    ByteWriter p;
+    for (const auto& lc : attrs.large_communities) {
+      p.u32(lc.global);
+      p.u32(lc.local1);
+      p.u32(lc.local2);
+    }
+    put_attr(w, kOptTrans, PathAttrType::LargeCommunities, p.data());
+  }
+  for (const auto& raw : attrs.unknown) {
+    put_attr(w, raw.flags, static_cast<PathAttrType>(raw.type), raw.payload);
+  }
+  return w.take();
+}
+
+PathAttributes decode_path_attributes(ByteReader& r, MpReachForm form) {
+  PathAttributes attrs;
+  while (!r.exhausted()) {
+    const std::uint8_t flags = r.u8();
+    const std::uint8_t type = r.u8();
+    const std::size_t len = (flags & kAttrFlagExtendedLength) ? r.u16() : r.u8();
+    ByteReader body = r.sub(len);
+    switch (static_cast<PathAttrType>(type)) {
+      case PathAttrType::Origin: {
+        const std::uint8_t o = body.u8();
+        if (o > 2) throw DecodeError("ORIGIN value " + std::to_string(o));
+        attrs.origin = static_cast<Origin>(o);
+        break;
+      }
+      case PathAttrType::AsPath:
+        attrs.as_path = decode_as_path(body);
+        break;
+      case PathAttrType::NextHop:
+        attrs.next_hop = read_address(body, IpVersion::V4);
+        break;
+      case PathAttrType::Med:
+        attrs.med = body.u32();
+        break;
+      case PathAttrType::LocalPref:
+        attrs.local_pref = body.u32();
+        break;
+      case PathAttrType::AtomicAggregate:
+        attrs.atomic_aggregate = true;
+        break;
+      case PathAttrType::Aggregator: {
+        Aggregator agg;
+        agg.asn = body.u32();
+        agg.router_id = read_address(body, IpVersion::V4);
+        attrs.aggregator = agg;
+        break;
+      }
+      case PathAttrType::Communities: {
+        if (len % 4 != 0) throw DecodeError("COMMUNITIES length not a multiple of 4");
+        while (!body.exhausted()) attrs.communities.push_back(Community(body.u32()));
+        break;
+      }
+      case PathAttrType::LargeCommunities: {
+        if (len % 12 != 0) throw DecodeError("LARGE_COMMUNITIES length not a multiple of 12");
+        while (!body.exhausted()) {
+          LargeCommunity lc;
+          lc.global = body.u32();
+          lc.local1 = body.u32();
+          lc.local2 = body.u32();
+          attrs.large_communities.push_back(lc);
+        }
+        break;
+      }
+      case PathAttrType::MpReachNlri:
+        attrs.mp_reach = form == MpReachForm::Full ? decode_mp_reach(body)
+                                                   : decode_mp_reach_mrt(body);
+        break;
+      case PathAttrType::MpUnreachNlri:
+        attrs.mp_unreach = decode_mp_unreach(body);
+        break;
+      default: {
+        RawAttribute raw;
+        raw.flags = flags;
+        raw.type = type;
+        raw.payload = body.bytes_copy(body.remaining());
+        attrs.unknown.push_back(std::move(raw));
+        break;
+      }
+    }
+  }
+  return attrs;
+}
+
+}  // namespace htor::bgp

@@ -1,0 +1,90 @@
+// BGP path attributes: typed model plus wire codec.
+//
+// Decode is tolerant of unknown attribute types (kept as raw bytes and
+// re-encoded verbatim) but strict about structural errors — bad lengths and
+// truncations throw DecodeError, as a routing daemon would treat them.
+//
+// AS_PATH and AGGREGATOR always use the 4-byte ASN encoding (RFC 6793), which
+// is what MRT TABLE_DUMP_V2 and BGP4MP MESSAGE_AS4 carry.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+#include "bgp/community.hpp"
+#include "bgp/nlri.hpp"
+#include "bgp/types.hpp"
+#include "netbase/ip.hpp"
+#include "util/bytes.hpp"
+
+namespace htor::bgp {
+
+struct Aggregator {
+  Asn asn = 0;
+  IpAddress router_id;  // IPv4
+
+  friend bool operator==(const Aggregator&, const Aggregator&) = default;
+};
+
+/// MP_REACH_NLRI (RFC 4760): the IPv6 routes of an UPDATE live here.
+struct MpReachNlri {
+  Afi afi = Afi::Ipv6;
+  Safi safi = Safi::Unicast;
+  std::vector<IpAddress> next_hops;  // 1 global (+ optional link-local)
+  std::vector<Prefix> nlri;
+
+  friend bool operator==(const MpReachNlri&, const MpReachNlri&) = default;
+};
+
+struct MpUnreachNlri {
+  Afi afi = Afi::Ipv6;
+  Safi safi = Safi::Unicast;
+  std::vector<Prefix> withdrawn;
+
+  friend bool operator==(const MpUnreachNlri&, const MpUnreachNlri&) = default;
+};
+
+/// An attribute type this codec does not model; preserved for re-encoding.
+struct RawAttribute {
+  std::uint8_t flags = 0;
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> payload;
+
+  friend bool operator==(const RawAttribute&, const RawAttribute&) = default;
+};
+
+struct PathAttributes {
+  std::optional<Origin> origin;
+  AsPath as_path;  // empty == absent
+  std::optional<IpAddress> next_hop;  // IPv4 NEXT_HOP attribute
+  std::optional<std::uint32_t> med;
+  std::optional<std::uint32_t> local_pref;
+  bool atomic_aggregate = false;
+  std::optional<Aggregator> aggregator;
+  std::vector<Community> communities;
+  std::vector<LargeCommunity> large_communities;
+  std::optional<MpReachNlri> mp_reach;
+  std::optional<MpUnreachNlri> mp_unreach;
+  std::vector<RawAttribute> unknown;
+
+  bool has_community(Community c) const;
+
+  friend bool operator==(const PathAttributes&, const PathAttributes&) = default;
+};
+
+/// How MP_REACH_NLRI is laid out.  In MRT TABLE_DUMP_V2 RIB entries the
+/// attribute is abbreviated to <next-hop length><next hop(s)> because
+/// AFI/SAFI/NLRI live in the RIB entry header (RFC 6396 §4.3.4).
+enum class MpReachForm : std::uint8_t { Full, MrtRib };
+
+/// Serialize to the on-wire attribute list (without any enclosing length
+/// field); deterministic attribute order by type code.
+std::vector<std::uint8_t> encode_path_attributes(const PathAttributes& attrs,
+                                                 MpReachForm form = MpReachForm::Full);
+
+/// Parse an attribute list occupying exactly the reader's remaining bytes.
+PathAttributes decode_path_attributes(ByteReader& r, MpReachForm form = MpReachForm::Full);
+
+}  // namespace htor::bgp

@@ -1,0 +1,58 @@
+// Protocol constants for BGP-4 (RFC 4271) and its multiprotocol extensions
+// (RFC 4760), 4-byte ASNs (RFC 6793), communities (RFC 1997) and large
+// communities (RFC 8092).
+#pragma once
+
+#include <cstdint>
+
+namespace htor::bgp {
+
+enum class MessageType : std::uint8_t {
+  Open = 1,
+  Update = 2,
+  Notification = 3,
+  Keepalive = 4,
+};
+
+enum class PathAttrType : std::uint8_t {
+  Origin = 1,
+  AsPath = 2,
+  NextHop = 3,
+  Med = 4,
+  LocalPref = 5,
+  AtomicAggregate = 6,
+  Aggregator = 7,
+  Communities = 8,
+  MpReachNlri = 14,
+  MpUnreachNlri = 15,
+  LargeCommunities = 32,
+};
+
+enum class Origin : std::uint8_t { Igp = 0, Egp = 1, Incomplete = 2 };
+
+inline const char* to_string(Origin o) {
+  switch (o) {
+    case Origin::Igp: return "IGP";
+    case Origin::Egp: return "EGP";
+    case Origin::Incomplete: return "INCOMPLETE";
+  }
+  return "?";
+}
+
+/// Address Family Identifiers (RFC 4760).
+enum class Afi : std::uint16_t { Ipv4 = 1, Ipv6 = 2 };
+
+/// Subsequent Address Family Identifiers.
+enum class Safi : std::uint8_t { Unicast = 1, Multicast = 2 };
+
+/// Path-attribute flag bits.
+inline constexpr std::uint8_t kAttrFlagOptional = 0x80;
+inline constexpr std::uint8_t kAttrFlagTransitive = 0x40;
+inline constexpr std::uint8_t kAttrFlagPartial = 0x20;
+inline constexpr std::uint8_t kAttrFlagExtendedLength = 0x10;
+
+/// BGP message header: 16-byte marker + 2-byte length + 1-byte type.
+inline constexpr std::size_t kMessageHeaderSize = 19;
+inline constexpr std::size_t kMaxMessageSize = 4096;
+
+}  // namespace htor::bgp

@@ -1,0 +1,101 @@
+#include "core/community_inference.hpp"
+
+#include <unordered_map>
+
+namespace htor::core {
+
+namespace {
+
+std::vector<Asn> collapse(const std::vector<Asn>& path) {
+  std::vector<Asn> out;
+  out.reserve(path.size());
+  for (Asn a : path) {
+    if (out.empty() || out.back() != a) out.push_back(a);
+  }
+  return out;
+}
+
+/// Votes per canonical link, indexed by the canonical relationship
+/// (rel(key.first -> key.second)) as P2C/C2P/P2P/S2S.
+using VoteArray = std::array<std::uint32_t, 4>;
+
+std::size_t rel_index(Relationship rel) {
+  switch (rel) {
+    case Relationship::P2C: return 0;
+    case Relationship::C2P: return 1;
+    case Relationship::P2P: return 2;
+    case Relationship::S2S: return 3;
+    case Relationship::Unknown: break;
+  }
+  return 4;
+}
+
+Relationship rel_from_index(std::size_t i) {
+  switch (i) {
+    case 0: return Relationship::P2C;
+    case 1: return Relationship::C2P;
+    case 2: return Relationship::P2P;
+    case 3: return Relationship::S2S;
+    default: return Relationship::Unknown;
+  }
+}
+
+}  // namespace
+
+CommunityInferenceResult infer_from_communities(
+    const std::vector<const mrt::ObservedRoute*>& routes,
+    const rpsl::CommunityDictionary& dict, const CommunityInferenceParams& params) {
+  CommunityInferenceResult result;
+  std::unordered_map<LinkKey, VoteArray, LinkKeyHash> votes;
+
+  std::unordered_map<Asn, std::size_t> position;  // reused per route
+  for (const mrt::ObservedRoute* route : routes) {
+    const std::vector<Asn> chain = collapse(route->as_path);
+    if (chain.size() < 2) continue;
+
+    position.clear();
+    for (std::size_t i = 0; i < chain.size(); ++i) position.emplace(chain[i], i);
+
+    bool contributed = false;
+    for (bgp::Community community : route->communities) {
+      const rpsl::CommunityMeaning* meaning = dict.lookup(community);
+      if (meaning == nullptr || !rpsl::is_relationship_tag(meaning->kind)) continue;
+
+      // Localize: the tagging AS must sit on this path with a next hop
+      // toward the origin.
+      auto it = position.find(community.asn());
+      if (it == position.end() || it->second + 1 >= chain.size()) continue;
+      const Asn tagger = chain[it->second];
+      const Asn from = chain[it->second + 1];
+
+      const Relationship rel = rpsl::relationship_of(meaning->kind);  // rel(tagger, from)
+      const LinkKey key(tagger, from);
+      const Relationship canonical = key.first == tagger ? rel : reverse(rel);
+      const std::size_t idx = rel_index(canonical);
+      if (idx >= 4) continue;
+      ++votes[key][idx];
+      ++result.total_votes;
+      contributed = true;
+    }
+    if (contributed) ++result.tagged_routes;
+  }
+
+  result.links_with_votes = votes.size();
+  for (const auto& [key, vote] : votes) {
+    std::uint64_t total = 0;
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      total += vote[i];
+      if (vote[i] > vote[best]) best = i;
+    }
+    if (vote[best] < params.min_votes ||
+        static_cast<double>(vote[best]) < params.majority * static_cast<double>(total)) {
+      ++result.conflicted_links;
+      continue;
+    }
+    result.rels.set(key.first, key.second, rel_from_index(best));
+  }
+  return result;
+}
+
+}  // namespace htor::core

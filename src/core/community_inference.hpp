@@ -1,0 +1,43 @@
+// Relationship extraction from BGP Communities (the paper's §2 method).
+//
+// For an observed AS path  p0 p1 … pk  (p0 = vantage peer, pk = origin),
+// a community  pi:v  whose mined meaning is a relationship ingress tag
+// asserts how pi learned the route from p_{i+1}: "learned from customer"
+// means p_{i+1} is pi's customer, i.e. rel(pi, p_{i+1}) = p2c.  Every
+// observed route casts votes for the links its tags can localize; links are
+// then typed by majority, and contradicting majorities are flagged instead
+// of guessed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mrt/rib_view.hpp"
+#include "rpsl/community_dict.hpp"
+#include "topology/relationship.hpp"
+
+namespace htor::core {
+
+struct CommunityInferenceParams {
+  /// Minimum votes before a link is typed.
+  std::uint32_t min_votes = 1;
+  /// Majority requirement: winning relationship must hold at least this
+  /// fraction of the link's votes.
+  double majority = 0.6;
+};
+
+struct CommunityInferenceResult {
+  RelationshipMap rels;
+  std::size_t links_with_votes = 0;
+  std::size_t conflicted_links = 0;  ///< votes present but no clear majority
+  std::uint64_t tagged_routes = 0;   ///< routes that contributed >= 1 vote
+  std::uint64_t total_votes = 0;
+};
+
+/// Infer relationships for one address family's routes.
+CommunityInferenceResult infer_from_communities(
+    const std::vector<const mrt::ObservedRoute*>& routes,
+    const rpsl::CommunityDictionary& dict, const CommunityInferenceParams& params = {});
+
+}  // namespace htor::core

@@ -1,0 +1,23 @@
+#include "core/correction.hpp"
+
+namespace htor::core {
+
+std::vector<CorrectionStep> correction_experiment(const RelationshipMap& baseline_v6,
+                                                  const std::vector<HybridFinding>& hybrids,
+                                                  std::size_t max_corrections) {
+  std::vector<CorrectionStep> steps;
+  RelationshipMap current = baseline_v6;
+
+  const std::size_t count = std::min(max_corrections, hybrids.size());
+  steps.reserve(count + 1);
+  steps.push_back({0, CustomerTreeAnalysis(current).union_metrics()});
+
+  for (std::size_t k = 0; k < count; ++k) {
+    const HybridFinding& h = hybrids[k];
+    current.set(h.link.first, h.link.second, h.rel_v6);
+    steps.push_back({k + 1, CustomerTreeAnalysis(current).union_metrics()});
+  }
+  return steps;
+}
+
+}  // namespace htor::core

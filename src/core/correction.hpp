@@ -1,0 +1,30 @@
+// The paper's Figure 2 experiment: start from a conventionally-inferred
+// (misinferred) IPv6 relationship map and progressively replace the k most
+// path-visible hybrid links with their correct IPv6 relationships, tracking
+// the average shortest valley-free path and diameter of the union of IPv6
+// customer trees at every step.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/hybrid.hpp"
+#include "topology/customer_tree.hpp"
+#include "topology/relationship.hpp"
+
+namespace htor::core {
+
+struct CorrectionStep {
+  std::size_t corrected = 0;  ///< hybrid links fixed so far (0 = baseline)
+  CustomerTreeAnalysis::Metrics metrics;
+};
+
+/// `baseline_v6` is the misinferred map (e.g. Gao over mixed-family paths);
+/// `hybrids` must be sorted by visibility (as HybridReport produces) and
+/// carry the correct IPv6 relationship in rel_v6.  Returns max_corrections+1
+/// steps, step 0 being the untouched baseline.
+std::vector<CorrectionStep> correction_experiment(const RelationshipMap& baseline_v6,
+                                                  const std::vector<HybridFinding>& hybrids,
+                                                  std::size_t max_corrections = 20);
+
+}  // namespace htor::core

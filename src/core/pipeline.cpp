@@ -1,0 +1,59 @@
+#include "core/pipeline.hpp"
+
+#include <unordered_set>
+
+namespace htor::core {
+
+InferredRelationships infer_relationships(const mrt::ObservedRib& rib,
+                                          const rpsl::CommunityDictionary& dict,
+                                          const InferenceConfig& config) {
+  InferredRelationships out;
+
+  for (IpVersion af : {IpVersion::V4, IpVersion::V6}) {
+    const auto routes = rib.routes_of(af);
+    auto& community = af == IpVersion::V4 ? out.community_v4 : out.community_v6;
+    auto& rosetta = af == IpVersion::V4 ? out.rosetta_v4 : out.rosetta_v6;
+    auto& rels = af == IpVersion::V4 ? out.v4 : out.v6;
+
+    community = infer_from_communities(routes, dict, config.community);
+    rels = community.rels;
+    if (config.use_rosetta) {
+      rosetta = run_rosetta(routes, dict, rels, config.rosetta);
+      rosetta.first_hop_rels.for_each([&rels](const LinkKey& key, Relationship rel) {
+        if (rels.get(key.first, key.second) == Relationship::Unknown) {
+          rels.set(key.first, key.second, rel);
+        }
+      });
+    }
+  }
+  return out;
+}
+
+PathStore paths_of(const mrt::ObservedRib& rib, IpVersion af) {
+  PathStore store;
+  for (const auto& route : rib.routes()) {
+    if (route.af == af) store.add(route.as_path);
+  }
+  return store;
+}
+
+CoverageStats coverage(const std::vector<LinkKey>& links, const RelationshipMap& rels) {
+  CoverageStats stats;
+  stats.observed_links = links.size();
+  for (const LinkKey& key : links) {
+    if (rels.get(key.first, key.second) != Relationship::Unknown) ++stats.covered_links;
+  }
+  return stats;
+}
+
+std::vector<LinkKey> dual_stack_links(const PathStore& v4_paths, const PathStore& v6_paths) {
+  const auto v4_links = v4_paths.links();
+  std::unordered_set<LinkKey, LinkKeyHash> v4_set(v4_links.begin(), v4_links.end());
+  std::vector<LinkKey> out;
+  for (const LinkKey& key : v6_paths.links()) {
+    if (v4_set.count(key)) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace htor::core

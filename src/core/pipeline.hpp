@@ -1,0 +1,53 @@
+// End-to-end relationship inference: community dictionary application plus
+// LocPrf Rosetta, per address family.
+#pragma once
+
+#include "core/community_inference.hpp"
+#include "core/rosetta.hpp"
+#include "mrt/rib_view.hpp"
+#include "topology/path_store.hpp"
+
+namespace htor::core {
+
+struct InferenceConfig {
+  CommunityInferenceParams community;
+  RosettaParams rosetta;
+  bool use_rosetta = true;
+};
+
+struct CoverageStats {
+  std::size_t observed_links = 0;
+  std::size_t covered_links = 0;
+  double fraction() const {
+    return observed_links == 0
+               ? 0.0
+               : static_cast<double>(covered_links) / static_cast<double>(observed_links);
+  }
+};
+
+struct InferredRelationships {
+  /// Final relationship maps (communities + Rosetta), one per family.
+  RelationshipMap v4;
+  RelationshipMap v6;
+
+  CommunityInferenceResult community_v4;
+  CommunityInferenceResult community_v6;
+  RosettaResult rosetta_v4;
+  RosettaResult rosetta_v6;
+};
+
+/// Run the full inference over a collector RIB.
+InferredRelationships infer_relationships(const mrt::ObservedRib& rib,
+                                          const rpsl::CommunityDictionary& dict,
+                                          const InferenceConfig& config = {});
+
+/// Distinct AS paths of one family, as a PathStore.
+PathStore paths_of(const mrt::ObservedRib& rib, IpVersion af);
+
+/// How many of `links` the map can type.
+CoverageStats coverage(const std::vector<LinkKey>& links, const RelationshipMap& rels);
+
+/// Links observed in both families (intersection of the two path link sets).
+std::vector<LinkKey> dual_stack_links(const PathStore& v4_paths, const PathStore& v6_paths);
+
+}  // namespace htor::core

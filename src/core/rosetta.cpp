@@ -1,0 +1,133 @@
+#include "core/rosetta.hpp"
+
+#include <array>
+#include <unordered_map>
+
+namespace htor::core {
+
+namespace {
+
+std::size_t rel_index(Relationship rel) {
+  switch (rel) {
+    case Relationship::P2C: return 0;
+    case Relationship::C2P: return 1;
+    case Relationship::P2P: return 2;
+    case Relationship::S2S: return 3;
+    default: return 4;
+  }
+}
+
+Relationship rel_from_index(std::size_t i) {
+  constexpr std::array<Relationship, 4> kRels{Relationship::P2C, Relationship::C2P,
+                                              Relationship::P2P, Relationship::S2S};
+  return i < 4 ? kRels[i] : Relationship::Unknown;
+}
+
+/// First link of the route after collapsing prepends; false when the path is
+/// too short.
+bool first_hop(const mrt::ObservedRoute& route, Asn& vantage, Asn& next) {
+  const auto& p = route.as_path;
+  if (p.empty()) return false;
+  vantage = p.front();
+  for (Asn a : p) {
+    if (a != vantage) {
+      next = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Does the route carry a LocPrf-overriding TE community issued by `asn`?
+bool has_te_override(const mrt::ObservedRoute& route, Asn asn,
+                     const rpsl::CommunityDictionary& dict) {
+  for (bgp::Community c : route.communities) {
+    if (c.asn() != asn) continue;
+    const rpsl::CommunityMeaning* meaning = dict.lookup(c);
+    if (meaning != nullptr && meaning->kind == rpsl::CommunityTagKind::SetLocPref) return true;
+  }
+  // Well-known scoping communities also disqualify a route from calibration.
+  for (bgp::Community c : route.communities) {
+    if (c == bgp::kNoExport || c == bgp::kNoAdvertise) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+RosettaResult run_rosetta(const std::vector<const mrt::ObservedRoute*>& routes,
+                          const rpsl::CommunityDictionary& dict, const RelationshipMap& known,
+                          const RosettaParams& params) {
+  RosettaResult result;
+
+  // Learning pass: (vantage, locpref) -> per-relationship sample counts.
+  struct Key {
+    Asn vantage;
+    std::uint32_t locpref;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>()(static_cast<std::uint64_t>(k.vantage) << 32 | k.locpref);
+    }
+  };
+  std::unordered_map<Key, std::array<std::uint32_t, 4>, KeyHash> samples;
+
+  for (const mrt::ObservedRoute* route : routes) {
+    if (!route->local_pref) continue;
+    Asn vantage = 0;
+    Asn next = 0;
+    if (!first_hop(*route, vantage, next)) continue;
+    if (params.filter_te && has_te_override(*route, vantage, dict)) {
+      ++result.routes_te_filtered;
+      continue;
+    }
+    const Relationship rel = known.get(vantage, next);
+    if (rel == Relationship::Unknown) continue;
+    const std::size_t idx = rel_index(rel);
+    if (idx >= 4) continue;
+    ++samples[Key{vantage, *route->local_pref}][idx];
+  }
+
+  // Consolidate: a value is usable when exactly one relationship explains
+  // all its samples and the sample count clears the threshold.
+  std::unordered_map<Key, Relationship, KeyHash> translation;
+  for (const auto& [key, counts] : samples) {
+    std::size_t nonzero = 0;
+    std::size_t winner = 0;
+    std::uint32_t total = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      total += counts[i];
+      if (counts[i] > 0) {
+        ++nonzero;
+        winner = i;
+      }
+    }
+    if (nonzero != 1) {
+      ++result.values_ambiguous;
+      continue;
+    }
+    if (total < params.min_samples) continue;
+    translation.emplace(key, rel_from_index(winner));
+    ++result.values_learned;
+  }
+
+  // Application pass: type uncovered first-hop links by translated LocPrf.
+  for (const mrt::ObservedRoute* route : routes) {
+    if (!route->local_pref) continue;
+    Asn vantage = 0;
+    Asn next = 0;
+    if (!first_hop(*route, vantage, next)) continue;
+    if (known.get(vantage, next) != Relationship::Unknown) continue;
+    if (params.filter_te && has_te_override(*route, vantage, dict)) continue;
+    auto it = translation.find(Key{vantage, *route->local_pref});
+    if (it == translation.end()) continue;
+    if (result.first_hop_rels.get(vantage, next) == Relationship::Unknown) {
+      result.first_hop_rels.set(vantage, next, it->second);
+    }
+    ++result.routes_resolved;
+  }
+  return result;
+}
+
+}  // namespace htor::core

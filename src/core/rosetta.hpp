@@ -1,0 +1,43 @@
+// The LocPrf "Rosetta stone" (paper §2).
+//
+// LocPrf values are operator-local: 100 may mean "customer" at one AS and
+// "backup provider" at another.  Routes whose first-hop relationship is
+// already known from communities *translate* the vantage's LocPrf scheme:
+// once a (vantage, LocPrf value) pair is seen consistently with one
+// relationship, the value can type first-hop links that communities did not
+// cover.  Routes carrying a traffic-engineering community that overrides
+// LocPrf are excluded from both learning and application — without this
+// filter the scheme learns noise (quantified by bench_ablation_inference).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mrt/rib_view.hpp"
+#include "rpsl/community_dict.hpp"
+#include "topology/relationship.hpp"
+
+namespace htor::core {
+
+struct RosettaParams {
+  /// Samples required before a (vantage, value) pair is trusted.
+  std::uint32_t min_samples = 3;
+  /// Disable the TE filter (ablation only; keeps SetLocPref-tagged routes).
+  bool filter_te = true;
+};
+
+struct RosettaResult {
+  /// First-hop links typed by LocPrf translation (links already covered by
+  /// communities are never re-typed here).
+  RelationshipMap first_hop_rels;
+  std::size_t values_learned = 0;    ///< usable (vantage, value) entries
+  std::size_t values_ambiguous = 0;  ///< value maps to >1 relationship
+  std::uint64_t routes_te_filtered = 0;
+  std::uint64_t routes_resolved = 0;  ///< routes whose first hop got typed
+};
+
+RosettaResult run_rosetta(const std::vector<const mrt::ObservedRoute*>& routes,
+                          const rpsl::CommunityDictionary& dict, const RelationshipMap& known,
+                          const RosettaParams& params = {});
+
+}  // namespace htor::core

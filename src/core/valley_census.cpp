@@ -1,0 +1,79 @@
+#include "core/valley_census.hpp"
+
+#include <unordered_map>
+
+#include "topology/reachability.hpp"
+#include "topology/valley.hpp"
+
+namespace htor::core {
+
+namespace {
+
+/// Dense valley-free-reachability oracle over the links of a relationship
+/// map, with per-source memoization (sources are the few vantage ASes).
+class ReachOracle {
+ public:
+  explicit ReachOracle(const RelationshipMap& rels) {
+    rels.for_each([this](const LinkKey& key, Relationship rel) {
+      const std::uint32_t a = intern(key.first);
+      const std::uint32_t b = intern(key.second);
+      adj_[a].push_back({b, edge_kind(rel)});
+      adj_[b].push_back({a, edge_kind(reverse(rel))});
+    });
+  }
+
+  /// kUnreachable when src/dst unknown or no valley-free path.
+  bool reachable(Asn src, Asn dst) {
+    auto s = index_.find(src);
+    auto d = index_.find(dst);
+    if (s == index_.end() || d == index_.end()) return false;
+    auto [it, inserted] = cache_.try_emplace(s->second);
+    if (inserted) it->second = valley_free_distances(adj_, s->second);
+    return it->second[d->second] != kUnreachable;
+  }
+
+ private:
+  std::uint32_t intern(Asn asn) {
+    auto [it, inserted] = index_.try_emplace(asn, static_cast<std::uint32_t>(adj_.size()));
+    if (inserted) adj_.emplace_back();
+    return it->second;
+  }
+
+  std::unordered_map<Asn, std::uint32_t> index_;
+  AdjacencyList adj_;
+  std::unordered_map<std::uint32_t, std::vector<std::int32_t>> cache_;
+};
+
+}  // namespace
+
+bool valley_is_necessary(Asn src, Asn dst, const RelationshipMap& rels) {
+  ReachOracle oracle(rels);
+  return !oracle.reachable(src, dst);
+}
+
+ValleyCensus census_valleys(const PathStore& paths, const RelationshipMap& rels) {
+  ValleyCensus census;
+  ReachOracle oracle(rels);
+
+  paths.for_each([&](const std::vector<Asn>& path, std::uint64_t) {
+    ++census.paths;
+    const ValleyCheckResult check = check_valley_free(path, rels);
+    switch (check.cls) {
+      case PathPolicyClass::ValleyFree:
+        ++census.valley_free;
+        return;
+      case PathPolicyClass::Incomplete:
+        ++census.incomplete;
+        return;
+      case PathPolicyClass::Valley:
+        break;
+    }
+    ++census.valley;
+    if (check.unknown_links > 0) return;  // endpoints typed, but gaps remain
+    ++census.classified_valleys;
+    if (!oracle.reachable(path.front(), path.back())) ++census.necessary_valleys;
+  });
+  return census;
+}
+
+}  // namespace htor::core

@@ -1,0 +1,99 @@
+// The synthetic collector: runs both propagation planes and records, for
+// every (vantage peer, origin prefix), the route the vantage would export to
+// a RouteViews-style collector — AS path with prepending, the communities
+// accumulated along the way (ingress relationship tags, TE tags, geo tags,
+// with stripping applied), and the vantage's LocPrf.
+#include <algorithm>
+
+#include "gen/internet.hpp"
+#include "propagation/engine.hpp"
+#include "util/hash.hpp"
+
+namespace htor::gen {
+
+namespace {
+
+/// Collapse prepending: the unique AS chain of a path.
+std::vector<Asn> collapse(const std::vector<Asn>& path) {
+  std::vector<Asn> out;
+  out.reserve(path.size());
+  for (Asn a : path) {
+    if (out.empty() || out.back() != a) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace
+
+mrt::ObservedRib SyntheticInternet::collect() const {
+  mrt::ObservedRib rib;
+
+  for (IpVersion af : {IpVersion::V4, IpVersion::V6}) {
+    const auto pol = policies(af);
+    prop::Engine engine(graph_, truth(af), af, pol, &te_);
+
+    std::vector<Asn> origins = graph_.ases();
+    std::sort(origins.begin(), origins.end());
+
+    for (Asn origin : origins) {
+      if (af == IpVersion::V6 && !v6_capable(origin)) continue;
+      if (graph_.neighbors(origin, af).empty()) continue;  // isolated in this plane
+      engine.run(origin);
+
+      for (Asn vantage : vantages_) {
+        if (vantage == origin) continue;
+        if (af == IpVersion::V6 && !v6_capable(vantage)) continue;
+        if (!engine.has_route(vantage)) continue;
+
+        mrt::ObservedRoute route;
+        route.af = af;
+        route.prefix = prefix_of(origin, af);
+        route.peer_asn = vantage;
+        route.as_path = engine.advertised_path(vantage);
+        route.local_pref = engine.locpref(vantage);
+
+        // Reconstruct the communities the route carries when it reaches the
+        // vantage.  Walk from the origin side: each AS on the way strips
+        // and/or tags according to its profile.
+        const std::vector<Asn> chain = collapse(route.as_path);
+        std::vector<bgp::Community> communities;
+        for (std::size_t i = chain.size() - 1; i-- > 0;) {
+          const Asn node = chain[i];
+          const Asn from = chain[i + 1];
+          const AsProfile& pr = profile(node);
+          if (pr.strips_communities) communities.clear();
+          if (pr.tags_relationships) {
+            std::uint16_t value = 0;
+            switch (truth(af).get(node, from)) {
+              case Relationship::P2C: value = pr.c_customer; break;
+              case Relationship::P2P: value = pr.c_peer; break;
+              case Relationship::C2P: value = pr.c_provider; break;
+              case Relationship::S2S: value = pr.c_sibling; break;
+              case Relationship::Unknown: break;
+            }
+            if (value != 0) {
+              communities.emplace_back(static_cast<std::uint16_t>(node), value);
+            }
+          }
+          if (te_.find(node, origin) != nullptr) {
+            communities.emplace_back(static_cast<std::uint16_t>(node), pr.c_te_locpref);
+          }
+          if (pr.geo_tags && geo_tag_applies(node, origin)) {
+            const std::uint16_t geo = static_cast<std::uint16_t>(
+                pr.c_geo_base + (hash_mix(node, origin) & 3));
+            communities.emplace_back(static_cast<std::uint16_t>(node), geo);
+          }
+          if (i > 0 && pr.policy.prepend_to_provider > 0 &&
+              truth(af).get(node, chain[i - 1]) == Relationship::C2P) {
+            communities.emplace_back(static_cast<std::uint16_t>(node), pr.c_prepend);
+          }
+        }
+        route.communities = bgp::normalized(std::move(communities));
+        rib.add(std::move(route));
+      }
+    }
+  }
+  return rib;
+}
+
+}  // namespace htor::gen

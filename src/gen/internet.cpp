@@ -1,0 +1,947 @@
+#include "gen/internet.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace htor::gen {
+
+namespace {
+
+constexpr std::uint64_t kSaltTe = 0x7e0ull;
+constexpr std::uint64_t kSaltGeo = 0x9e0ull;
+
+/// One link while the topology is under construction.
+struct LinkSpec {
+  Asn a = 0;
+  Asn b = 0;
+  Relationship rel = Relationship::Unknown;     // rel(a -> b), IPv4 ground truth
+  Relationship rel_v6 = Relationship::Unknown;  // rel(a -> b), IPv6 ground truth
+  bool v4 = true;
+  bool v6 = false;
+};
+
+struct LocPrefScheme {
+  std::uint32_t customer, peer, provider;
+};
+
+constexpr std::array<LocPrefScheme, 6> kLocPrefSchemes{{
+    {100, 90, 80},
+    {200, 150, 100},
+    {120, 110, 100},
+    {300, 280, 250},
+    {150, 120, 90},
+    {130, 100, 70},
+}};
+
+struct CommunityStyle {
+  std::uint16_t customer, peer, provider, sibling, te_locpref, prepend, geo_base;
+};
+
+constexpr std::array<CommunityStyle, 3> kCommunityStyles{{
+    {100, 200, 300, 400, 70, 7001, 5001},
+    {1000, 2000, 3000, 4000, 900, 8801, 6001},
+    {65101, 65102, 65103, 65104, 65050, 65201, 65301},
+}};
+
+}  // namespace
+
+GenParams small_params(std::uint64_t seed) {
+  GenParams p;
+  p.seed = seed;
+  p.tier1_count = 6;
+  p.tier2_count = 30;
+  p.tier3_count = 60;
+  p.stub_count = 200;
+  p.sibling_pairs = 3;
+  p.exclusive_cone_t2 = 3;
+  p.v6_only_peer_links = 80;
+  p.relaxed_count = 6;
+  p.healer_pairs = 2;
+  p.vantage_tier1 = 1;
+  p.vantage_tier2 = 4;
+  p.vantage_tier3 = 4;
+  p.vantage_stub = 3;
+  return p;
+}
+
+/// Builder with access to SyntheticInternet internals.
+class Generator {
+ public:
+  explicit Generator(const GenParams& params) : rng_(params.seed) { net_.params_ = params; }
+
+  SyntheticInternet build() {
+    make_ases();
+    make_links();
+    assign_v6();
+    plant_evangelist_transit();
+    ensure_v6_transit();
+    add_v6_only_peerings();
+    plant_hybrids();
+    populate();
+    make_policies();
+    pick_vantages();
+    make_te();
+    return std::move(net_);
+  }
+
+ private:
+  const GenParams& p() const { return net_.params_; }
+
+  AsProfile& prof(Asn asn) { return net_.profiles_.at(asn); }
+
+  void add_as(Asn asn, Tier tier, bool v6_capable) {
+    AsProfile profile;
+    profile.asn = asn;
+    profile.tier = tier;
+    profile.v6_capable = v6_capable;
+    net_.profiles_.emplace(asn, profile);
+  }
+
+  void make_ases() {
+    for (std::size_t i = 0; i < p().tier1_count; ++i) {
+      tier1_.push_back(static_cast<Asn>(10 + i));
+      // 2010-style IPv6 tier-1 layer: the disputants (0, 1) and the
+      // evangelist (2) run v6; the rest mostly lag.
+      const bool v6 = i < 3 || rng_.chance(p().v6_tier1_extra);
+      add_as(tier1_.back(), Tier::Tier1, v6);
+    }
+    if (p().v6_evangelist && tier1_.size() >= 3) {
+      net_.evangelist_ = tier1_[2];
+    }
+    for (std::size_t i = 0; i < p().tier2_count; ++i) {
+      tier2_.push_back(static_cast<Asn>(100 + i));
+      add_as(tier2_.back(), Tier::Tier2, rng_.chance(p().v6_tier2));
+    }
+    for (std::size_t i = 0; i < p().tier3_count; ++i) {
+      tier3_.push_back(static_cast<Asn>(1000 + i));
+      add_as(tier3_.back(), Tier::Tier3, rng_.chance(p().v6_tier3));
+    }
+    for (std::size_t i = 0; i < p().stub_count; ++i) {
+      stubs_.push_back(static_cast<Asn>(10000 + i));
+      add_as(stubs_.back(), Tier::Stub, rng_.chance(p().v6_stub));
+    }
+    if (p().v6_tier1_dispute && tier1_.size() >= 2) {
+      net_.dispute_ = {tier1_[0], tier1_[1]};
+    }
+  }
+
+  void add_link(Asn a, Asn b, Relationship rel_a_to_b) {
+    const LinkKey key(a, b);
+    if (!link_index_.emplace(key, links_.size()).second) return;  // already linked
+    LinkSpec spec;
+    spec.a = a;
+    spec.b = b;
+    spec.rel = rel_a_to_b;
+    spec.rel_v6 = rel_a_to_b;
+    by_as_[a].push_back(links_.size());
+    by_as_[b].push_back(links_.size());
+    links_.push_back(spec);
+    if (rel_a_to_b == Relationship::C2P) {
+      provider_links_[a].push_back(links_.size() - 1);
+      ++customer_count_[b];
+    } else if (rel_a_to_b == Relationship::P2C) {
+      provider_links_[b].push_back(links_.size() - 1);
+      ++customer_count_[a];
+    }
+  }
+
+  bool linked(Asn a, Asn b) const { return link_index_.count(LinkKey(a, b)) != 0; }
+
+  /// Preferential attachment: providers with more customers attract more.
+  Asn pick_provider(const std::vector<Asn>& candidates, Asn customer) {
+    std::vector<double> weights;
+    weights.reserve(candidates.size());
+    for (Asn c : candidates) {
+      weights.push_back(c == customer || linked(c, customer)
+                            ? 0.0
+                            : 1.0 + static_cast<double>(customer_count_[c]));
+    }
+    double total = 0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) return 0;
+    return candidates[rng_.weighted(weights)];
+  }
+
+  void make_links() {
+    // Tier-1 clique (p2p).
+    for (std::size_t i = 0; i < tier1_.size(); ++i) {
+      for (std::size_t j = i + 1; j < tier1_.size(); ++j) {
+        add_link(tier1_[i], tier1_[j], Relationship::P2P);
+      }
+    }
+
+    // Exclusive cones: the first tier-2s single-home behind each disputing
+    // tier-1, giving strict valley-free IPv6 routing something to partition.
+    std::size_t t2_index = 0;
+    const auto [dispute_a, dispute_b] = net_.dispute_;
+    if (dispute_a != 0) {
+      for (std::size_t i = 0; i < p().exclusive_cone_t2 && t2_index < tier2_.size(); ++i) {
+        const Asn t2 = tier2_[t2_index++];
+        add_link(t2, dispute_a, Relationship::C2P);
+        prof(t2).v6_capable = true;
+        cone_a_.push_back(t2);
+      }
+      for (std::size_t i = 0; i < p().exclusive_cone_t2 && t2_index < tier2_.size(); ++i) {
+        const Asn t2 = tier2_[t2_index++];
+        add_link(t2, dispute_b, Relationship::C2P);
+        prof(t2).v6_capable = true;
+        cone_b_.push_back(t2);
+      }
+    }
+
+    // Remaining tier-2s multi-home across tier-1s.
+    for (; t2_index < tier2_.size(); ++t2_index) {
+      const Asn t2 = tier2_[t2_index];
+      const std::uint32_t providers = 2 + (rng_.chance(0.4) ? 1 : 0) + (rng_.chance(0.15) ? 1 : 0);
+      for (std::uint32_t k = 0; k < providers; ++k) {
+        const Asn provider = pick_provider(tier1_, t2);
+        if (provider != 0) add_link(t2, provider, Relationship::C2P);
+      }
+    }
+
+    // Tier-2 peering mesh.
+    for (std::size_t i = 0; i < tier2_.size(); ++i) {
+      for (std::size_t j = i + 1; j < tier2_.size(); ++j) {
+        if (rng_.chance(p().t2_peer_prob) && !linked(tier2_[i], tier2_[j])) {
+          add_link(tier2_[i], tier2_[j], Relationship::P2P);
+        }
+      }
+    }
+
+    // Evangelist open peering: IPv4 peerings with many tier-2s/tier-3s.
+    if (net_.evangelist_ != 0) {
+      std::vector<Asn> t2_pool = tier2_;
+      rng_.shuffle(t2_pool);
+      std::size_t added = 0;
+      for (Asn t2 : t2_pool) {
+        if (added >= p().evangelist_peer_t2) break;
+        // The disputants' exclusive cones stay exclusive: free transit from
+        // the evangelist would quietly heal the partition the paper
+        // observes.
+        if (in(cone_a_, t2) || in(cone_b_, t2)) continue;
+        if (!linked(net_.evangelist_, t2)) {
+          add_link(net_.evangelist_, t2, Relationship::P2P);
+          ++added;
+        }
+      }
+      std::vector<Asn> t3_pool = tier3_;
+      rng_.shuffle(t3_pool);
+      added = 0;
+      for (Asn t3 : t3_pool) {
+        if (added >= p().evangelist_peer_t3) break;
+        if (!linked(net_.evangelist_, t3)) {
+          add_link(net_.evangelist_, t3, Relationship::P2P);
+          ++added;
+        }
+      }
+    }
+
+    // Tier-3: transit from tier-2 (sometimes tier-1), some peering.
+    for (Asn t3 : tier3_) {
+      const std::uint32_t providers = 1 + (rng_.chance(0.45) ? 1 : 0) + (rng_.chance(0.1) ? 1 : 0);
+      for (std::uint32_t k = 0; k < providers; ++k) {
+        const auto& pool = rng_.chance(p().t3_tier1_provider_prob) ? tier1_ : tier2_;
+        const Asn provider = pick_provider(pool, t3);
+        if (provider != 0) add_link(t3, provider, Relationship::C2P);
+      }
+    }
+    for (Asn t3 : tier3_) {
+      if (!rng_.chance(p().t3_peer_prob)) continue;
+      const std::uint32_t count = rng_.chance(0.3) ? 2 : 1;
+      for (std::uint32_t k = 0; k < count; ++k) {
+        const Asn other = tier3_[rng_.index(tier3_.size())];
+        if (other != t3 && !linked(t3, other)) add_link(t3, other, Relationship::P2P);
+      }
+    }
+
+    // Stubs: 1-2 providers from tier-2/tier-3; occasional mutual peering.
+    for (Asn stub : stubs_) {
+      const auto& first_pool =
+          rng_.chance(p().stub_tier2_provider_prob) ? tier2_ : tier3_;
+      const Asn first = pick_provider(first_pool, stub);
+      if (first != 0) add_link(stub, first, Relationship::C2P);
+      // Single-home behind exclusive-cone providers to deepen the cones.
+      const bool exclusive = first != 0 && (in(cone_a_, first) || in(cone_b_, first));
+      if (!exclusive && rng_.chance(0.35)) {
+        const auto& pool = rng_.chance(p().stub_tier2_provider_prob) ? tier2_ : tier3_;
+        const Asn second = pick_provider(pool, stub);
+        if (second != 0) add_link(stub, second, Relationship::C2P);
+      }
+      if (rng_.chance(p().stub_peer_prob)) {
+        const Asn other = stubs_[rng_.index(stubs_.size())];
+        if (other != stub && !linked(stub, other)) add_link(stub, other, Relationship::P2P);
+      }
+    }
+
+    // Siblings: pairs of tier-3 ASes under the same organization.
+    for (std::size_t i = 0; i + 1 < tier3_.size() && i / 2 < p().sibling_pairs; i += 2) {
+      if (!linked(tier3_[i], tier3_[i + 1])) {
+        add_link(tier3_[i], tier3_[i + 1], Relationship::S2S);
+      }
+    }
+  }
+
+  static bool in(const std::vector<Asn>& v, Asn asn) {
+    return std::find(v.begin(), v.end(), asn) != v.end();
+  }
+
+  /// Append a fully-formed spec (v6-only links) keeping the indexes fresh.
+  void append_spec(const LinkSpec& spec) {
+    link_index_.emplace(LinkKey(spec.a, spec.b), links_.size());
+    by_as_[spec.a].push_back(links_.size());
+    by_as_[spec.b].push_back(links_.size());
+    links_.push_back(spec);
+  }
+
+  /// rel_v6(spec) as seen from `from`.
+  static Relationship rel_v6_of(const LinkSpec& spec, Asn from) {
+    return spec.a == from ? spec.rel_v6 : reverse(spec.rel_v6);
+  }
+
+  /// True when `asn` has at least one IPv6 link it can buy transit over
+  /// (IPv6 ground-truth relationship, so evangelist free transit counts).
+  bool has_v6_transit(Asn asn) const {
+    auto it = by_as_.find(asn);
+    if (it == by_as_.end()) return false;
+    for (std::size_t idx : it->second) {
+      const LinkSpec& spec = links_[idx];
+      if (spec.v6 && rel_v6_of(spec, asn) == Relationship::C2P) return true;
+    }
+    return false;
+  }
+
+  void assign_v6() {
+    const auto [dispute_a, dispute_b] = net_.dispute_;
+    for (auto& spec : links_) {
+      const bool both_capable = prof(spec.a).v6_capable && prof(spec.b).v6_capable;
+      if (!both_capable) continue;
+      const bool tier1_link =
+          prof(spec.a).tier == Tier::Tier1 && prof(spec.b).tier == Tier::Tier1;
+      if (tier1_link) {
+        const LinkKey key(spec.a, spec.b);
+        const bool disputed = dispute_a != 0 && key == LinkKey(dispute_a, dispute_b);
+        spec.v6 = !disputed;  // the dispute pair refuses to peer in IPv6
+        continue;
+      }
+      if (spec.a == net_.evangelist_ || spec.b == net_.evangelist_) {
+        spec.v6 = true;  // the evangelist's peers all want its v6
+        continue;
+      }
+      spec.v6 = rng_.chance(p().dual_link_prob);
+    }
+  }
+
+  /// The evangelist converts its dual-stack peerings into free IPv6
+  /// transit: the archetypal p2p(v4)/p2c(v6) hybrid links.
+  void plant_evangelist_transit() {
+    const Asn ev = net_.evangelist_;
+    if (ev == 0) return;
+    auto it = by_as_.find(ev);
+    if (it == by_as_.end()) return;
+    const auto [dispute_a, dispute_b] = net_.dispute_;
+    for (std::size_t idx : it->second) {
+      LinkSpec& spec = links_[idx];
+      if (!(spec.v4 && spec.v6) || spec.rel != Relationship::P2P) continue;
+      // The disputants accept free transit from no one — that refusal is
+      // what keeps strict valley-free IPv6 routing partitioned.
+      if (spec.a == dispute_a || spec.a == dispute_b || spec.b == dispute_a ||
+          spec.b == dispute_b) {
+        continue;
+      }
+      if (!rng_.chance(p().evangelist_free_transit)) continue;
+      spec.rel_v6 = spec.a == ev ? Relationship::P2C : Relationship::C2P;
+      record_hybrid(spec);
+    }
+  }
+
+  /// Every v6-capable AS must keep at least one IPv6 transit path, or it
+  /// cannot participate in the v6 plane at all.  With a thin v6 tier-1
+  /// layer, stranded tier-2s buy v6-only transit from a tier-2 that already
+  /// has one (the deep v6-only hierarchy of 2010); lower tiers either get a
+  /// forced-v6 transit link or are demoted.  Processed top-down so demotions
+  /// cascade correctly.
+  void ensure_v6_transit() {
+    // Tier-2s first: collect the ones already settled (direct v6 transit,
+    // which includes evangelist free transit).
+    std::vector<Asn> settled_t2;
+    std::vector<Asn> stranded_t2;
+    for (Asn asn : tier2_) {
+      AsProfile& profile = prof(asn);
+      if (!profile.v6_capable) continue;
+      const bool exclusive = in(cone_a_, asn) || in(cone_b_, asn);
+      // Free transit from the evangelist is usually the *only* v6 transit a
+      // network bothers with (2010: why pay for v6 when HE is free?).
+      bool ev_transit = false;
+      std::size_t have = 0;
+      for (std::size_t idx : by_as_[asn]) {
+        const LinkSpec& spec = links_[idx];
+        if (spec.v6 && rel_v6_of(spec, asn) == Relationship::C2P) {
+          ++have;
+          const Asn provider = spec.a == asn ? spec.b : spec.a;
+          if (provider == net_.evangelist_) ev_transit = true;
+        }
+      }
+      // Multi-homed tier-2s otherwise keep at least two v6 transit links so
+      // the v6-exclusive cones stay confined to the planted single-homed
+      // population.
+      const std::size_t want = ev_transit ? have : (exclusive ? 1 : 2);
+      for (std::size_t idx : provider_links_[asn]) {
+        if (have >= want) break;
+        LinkSpec& spec = links_[idx];
+        if (spec.v6) continue;
+        const Asn provider = spec.a == asn ? spec.b : spec.a;
+        if (!prof(provider).v6_capable) continue;
+        spec.v6 = true;
+        ++have;
+      }
+      if (have > 0 || has_v6_transit(asn)) {
+        settled_t2.push_back(asn);
+      } else {
+        stranded_t2.push_back(asn);
+      }
+    }
+    for (Asn asn : stranded_t2) {
+      if (settled_t2.empty()) {
+        demote(asn);
+        continue;
+      }
+      // Buy v6-only transit from an already-settled tier-2.
+      Asn provider = settled_t2[rng_.index(settled_t2.size())];
+      if (provider == asn || linked(asn, provider)) {
+        demote(asn);
+        continue;
+      }
+      LinkSpec spec;
+      spec.a = asn;
+      spec.b = provider;
+      spec.rel = Relationship::C2P;
+      spec.rel_v6 = Relationship::C2P;
+      spec.v4 = false;
+      spec.v6 = true;
+      append_spec(spec);
+      settled_t2.push_back(asn);
+    }
+
+    auto fix_tier = [this](const std::vector<Asn>& tier) {
+      for (Asn asn : tier) {
+        AsProfile& profile = prof(asn);
+        if (!profile.v6_capable) continue;
+        if (has_v6_transit(asn)) continue;
+        std::size_t fallback = links_.size();
+        for (std::size_t idx : provider_links_[asn]) {
+          const LinkSpec& spec = links_[idx];
+          const Asn provider = spec.a == asn ? spec.b : spec.a;
+          // The provider must itself be able to reach the v6 plane.
+          if (prof(provider).v6_capable && has_v6_transit(provider)) fallback = idx;
+          if (prof(provider).tier == Tier::Tier1 && prof(provider).v6_capable) fallback = idx;
+        }
+        if (fallback < links_.size()) {
+          links_[fallback].v6 = true;
+        } else {
+          demote(asn);
+        }
+      }
+    };
+    fix_tier(tier3_);
+    fix_tier(stubs_);
+  }
+
+  void demote(Asn asn) {
+    prof(asn).v6_capable = false;
+    auto it = by_as_.find(asn);
+    if (it == by_as_.end()) return;
+    for (std::size_t idx : it->second) links_[idx].v6 = false;
+  }
+
+  void add_v6_only_peerings() {
+    // Healer pairs first: bridge the exclusive cones with v6-only peerings
+    // whose endpoints will run relaxed IPv6 export.
+    for (std::size_t i = 0; i < p().healer_pairs; ++i) {
+      if (i >= cone_a_.size() || i >= cone_b_.size()) break;
+      const Asn a = cone_a_[i];
+      const Asn b = cone_b_[i];
+      if (linked(a, b)) continue;
+      LinkSpec spec;
+      spec.a = a;
+      spec.b = b;
+      spec.rel = Relationship::P2P;
+      spec.rel_v6 = Relationship::P2P;
+      spec.v4 = false;
+      spec.v6 = true;
+      append_spec(spec);
+      healers_.push_back(a);
+      healers_.push_back(b);
+    }
+
+    // General v6-only peerings: new peerings that never existed in IPv4.
+    // Tier-2s enter the pool twice: the bulk of early v6 peering happened
+    // between sizable networks, and their links are what collectors see.
+    std::vector<Asn> pool;
+    for (Asn asn : tier2_) {
+      // Exclusive-cone members stay out: a random v6 peering into a cone
+      // would give strict valley-free routing a way around the partition.
+      if (in(cone_a_, asn) || in(cone_b_, asn)) continue;
+      if (prof(asn).v6_capable) {
+        pool.push_back(asn);
+        pool.push_back(asn);
+      }
+    }
+    for (Asn asn : tier3_) {
+      if (prof(asn).v6_capable) pool.push_back(asn);
+    }
+    for (Asn asn : stubs_) {
+      if (prof(asn).v6_capable && rng_.chance(0.3)) pool.push_back(asn);
+    }
+    if (pool.size() < 2) return;
+    std::size_t added = 0;
+    std::size_t attempts = 0;
+    while (added < p().v6_only_peer_links && attempts < 20 * p().v6_only_peer_links) {
+      ++attempts;
+      const Asn a = pool[rng_.index(pool.size())];
+      const Asn b = pool[rng_.index(pool.size())];
+      if (a == b || linked(a, b)) continue;
+      LinkSpec spec;
+      spec.a = a;
+      spec.b = b;
+      spec.rel = Relationship::P2P;
+      spec.rel_v6 = Relationship::P2P;
+      spec.v4 = false;
+      spec.v6 = true;
+      append_spec(spec);
+      ++added;
+    }
+  }
+
+  std::size_t count_v6_providers(Asn asn) const {
+    std::size_t n = 0;
+    auto it = by_as_.find(asn);
+    if (it == by_as_.end()) return 0;
+    for (std::size_t idx : it->second) {
+      const LinkSpec& spec = links_[idx];
+      if (spec.v6 && rel_v6_of(spec, asn) == Relationship::C2P) ++n;
+    }
+    return n;
+  }
+
+  /// rel(spec, from): relationship as seen from `from`.
+  static Relationship rel_of(const LinkSpec& spec, Asn from) {
+    return spec.a == from ? spec.rel : reverse(spec.rel);
+  }
+
+  void plant_hybrids() {
+    // Candidate sets over dual-stack links.
+    std::vector<std::size_t> dual_p2p;
+    std::vector<std::size_t> dual_p2c;
+    std::size_t dual_count = 0;
+    std::unordered_map<Asn, std::size_t> degree;
+    for (const auto& spec : links_) {
+      ++degree[spec.a];
+      ++degree[spec.b];
+    }
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      const LinkSpec& spec = links_[i];
+      if (!(spec.v4 && spec.v6)) continue;
+      ++dual_count;
+      // Hybrids live among transit-capable ASes (paper: "among tier-1 or
+      // tier-2 ASes with large numbers of connections"); stub links are not
+      // candidates.
+      if (prof(spec.a).tier == Tier::Stub || prof(spec.b).tier == Tier::Stub) continue;
+      if (spec.rel_v6 != spec.rel) continue;  // already a planted hybrid
+      // A hybrid flip must never hand a disputing tier-1 a provider, or the
+      // partition quietly heals.
+      {
+        const auto [da, db] = net_.dispute_;
+        if (spec.a == da || spec.a == db || spec.b == da || spec.b == db) continue;
+      }
+      if (spec.rel == Relationship::P2P) {
+        dual_p2p.push_back(i);
+      } else if (spec.rel == Relationship::P2C || spec.rel == Relationship::C2P) {
+        dual_p2c.push_back(i);
+      }
+    }
+
+    const std::size_t want_total =
+        static_cast<std::size_t>(p().hybrid_fraction * static_cast<double>(dual_count) + 0.5);
+    const std::size_t want_reversal = p().plant_reversal && want_total > 0 ? 1 : 0;
+    std::size_t want_p2p4 = static_cast<std::size_t>(
+        p().hybrid_p2p4_transit6_share * static_cast<double>(want_total) + 0.5);
+    if (want_p2p4 + want_reversal > want_total) want_p2p4 = want_total - want_reversal;
+    const std::size_t want_p2c4 = want_total - want_p2p4 - want_reversal;
+    // The evangelist's free-transit links already consumed part of the
+    // p2p(v4)/transit(v6) budget.
+    const std::size_t already = net_.hybrids_.size();
+    want_p2p4 = want_p2p4 > already ? want_p2p4 - already : 0;
+
+    // Weighted draw without replacement, biased toward well-connected links
+    // (the paper: hybrids sit among tier-1/tier-2 ASes).
+    auto weighted_draw = [&](std::vector<std::size_t>& candidates) -> std::size_t {
+      if (candidates.empty()) return links_.size();
+      std::vector<double> weights;
+      weights.reserve(candidates.size());
+      for (std::size_t idx : candidates) {
+        weights.push_back(static_cast<double>(
+            std::min(degree[links_[idx].a], degree[links_[idx].b])));
+      }
+      const std::size_t pick = rng_.weighted(weights);
+      const std::size_t link_idx = candidates[pick];
+      candidates[pick] = candidates.back();
+      candidates.pop_back();
+      return link_idx;
+    };
+
+    // Type 1: p2p in IPv4, transit in IPv6 (free/paid v6 transit over what
+    // is a v4 peering).  The better-connected side becomes the v6 provider.
+    for (std::size_t k = 0; k < want_p2p4 && !dual_p2p.empty(); ++k) {
+      const std::size_t idx = weighted_draw(dual_p2p);
+      if (idx >= links_.size()) break;
+      LinkSpec& spec = links_[idx];
+      const bool a_bigger = degree[spec.a] >= degree[spec.b];
+      spec.rel_v6 = a_bigger ? Relationship::P2C : Relationship::C2P;
+      record_hybrid(spec);
+    }
+
+    // Type 2: p2c in IPv4, p2p in IPv6 (relaxed v6 peering).  Only when the
+    // v4 customer keeps another v6 provider, so it stays v6-reachable.
+    std::size_t planted_p2c4 = 0;
+    while (planted_p2c4 < want_p2c4 && !dual_p2c.empty()) {
+      const std::size_t idx = weighted_draw(dual_p2c);
+      if (idx >= links_.size()) break;
+      LinkSpec& spec = links_[idx];
+      const Asn customer = spec.rel == Relationship::P2C ? spec.b : spec.a;
+      if (count_v6_providers(customer) < 2) continue;
+      spec.rel_v6 = Relationship::P2P;
+      record_hybrid(spec);
+      ++planted_p2c4;
+    }
+
+    // Type 3: the single p2c(v4)/c2p(v6) reversal.  Pick the most-connected
+    // eligible link so the one planted case is actually observable, and pin
+    // its endpoints as IRR publishers/taggers (the paper could only report
+    // the case because it was documented).
+    if (want_reversal) {
+      std::size_t best = links_.size();
+      std::size_t best_weight = 0;
+      for (std::size_t idx : dual_p2c) {
+        const LinkSpec& spec = links_[idx];
+        const Asn customer = spec.rel == Relationship::P2C ? spec.b : spec.a;
+        const Asn provider = spec.rel == Relationship::P2C ? spec.a : spec.b;
+        // The v4 provider must keep a v6 provider of its own once it becomes
+        // the v6 customer; the v4 customer must be transit-capable.
+        if (prof(provider).tier == Tier::Tier1) continue;
+        if (count_v6_providers(provider) < 1) continue;
+        if (prof(customer).tier == Tier::Stub) continue;
+        const std::size_t w = std::min(degree[spec.a], degree[spec.b]);
+        if (best == links_.size() || w > best_weight) {
+          best = idx;
+          best_weight = w;
+        }
+      }
+      if (best < links_.size()) {
+        LinkSpec& spec = links_[best];
+        spec.rel_v6 = reverse(spec.rel);
+        record_hybrid(spec);
+        reversal_endpoints_ = {spec.a, spec.b};
+        // The role swap happens because the v4 provider takes its *whole*
+        // v6 feed from its v6-savvy customer; its other links stay v4-only.
+        // That also makes the reversed link carry traffic, i.e. observable.
+        const Asn old_provider = spec.rel == Relationship::P2C ? spec.a : spec.b;
+        const Asn new_provider = spec.rel == Relationship::P2C ? spec.b : spec.a;
+        for (std::size_t idx : by_as_[old_provider]) {
+          LinkSpec& other = links_[idx];
+          if (&other == &spec) continue;
+          const Asn nbr = other.a == old_provider ? other.b : other.a;
+          if (nbr != new_provider && other.v6 &&
+              rel_v6_of(other, old_provider) == Relationship::C2P) {
+            other.v6 = false;
+          }
+        }
+      }
+    }
+  }
+
+  void record_hybrid(const LinkSpec& spec) {
+    HybridLink h;
+    h.link = LinkKey(spec.a, spec.b);
+    h.rel_v4 = h.link.first == spec.a ? spec.rel : reverse(spec.rel);
+    h.rel_v6 = h.link.first == spec.a ? spec.rel_v6 : reverse(spec.rel_v6);
+    net_.hybrids_.push_back(h);
+  }
+
+  void populate() {
+    for (const auto& spec : links_) {
+      if (spec.v4) {
+        net_.graph_.add_link(spec.a, spec.b, IpVersion::V4);
+        net_.rels_v4_.set(spec.a, spec.b, spec.rel);
+      }
+      if (spec.v6) {
+        net_.graph_.add_link(spec.a, spec.b, IpVersion::V6);
+        net_.rels_v6_.set(spec.a, spec.b, spec.rel_v6);
+      }
+    }
+    // Isolated v4-only stubs can exist if all their links were v6-demoted —
+    // every AS is still registered so prefix_of stays total.
+    for (const auto& [asn, profile] : net_.profiles_) {
+      (void)profile;
+      net_.graph_.add_as(asn);
+    }
+  }
+
+  double publish_prob(Tier tier) const {
+    switch (tier) {
+      case Tier::Tier1: return p().publish_tier1;
+      case Tier::Tier2: return p().publish_tier2;
+      case Tier::Tier3: return p().publish_tier3;
+      case Tier::Stub: return p().publish_stub;
+    }
+    return 0.0;
+  }
+
+  double tag_prob(Tier tier) const {
+    switch (tier) {
+      case Tier::Tier1: return p().tag_tier1;
+      case Tier::Tier2: return p().tag_tier2;
+      case Tier::Tier3: return p().tag_tier3;
+      case Tier::Stub: return p().tag_stub;
+    }
+    return 0.0;
+  }
+
+  void make_policies() {
+    std::vector<Asn> all;
+    for (const auto& [asn, profile] : net_.profiles_) {
+      (void)profile;
+      all.push_back(asn);
+    }
+    std::sort(all.begin(), all.end());  // iteration order independence
+
+    for (Asn asn : all) {
+      AsProfile& profile = net_.profiles_.at(asn);
+      const LocPrefScheme& scheme = kLocPrefSchemes[rng_.index(kLocPrefSchemes.size())];
+      profile.policy.lp_customer = scheme.customer;
+      profile.policy.lp_peer = scheme.peer;
+      profile.policy.lp_provider = scheme.provider;
+      profile.policy.lp_sibling = scheme.customer > 5 ? scheme.customer - 5 : scheme.customer;
+      if (profile.tier == Tier::Stub && rng_.chance(p().prepend_stub_prob)) {
+        profile.policy.prepend_to_provider = static_cast<std::uint8_t>(rng_.uniform(1, 2));
+      }
+
+      const int style = static_cast<int>(rng_.index(kCommunityStyles.size()));
+      const CommunityStyle& cs = kCommunityStyles[static_cast<std::size_t>(style)];
+      profile.phrasing_style = style;
+      profile.c_customer = cs.customer;
+      profile.c_peer = cs.peer;
+      profile.c_provider = cs.provider;
+      profile.c_sibling = cs.sibling;
+      profile.c_te_locpref = cs.te_locpref;
+      profile.c_prepend = cs.prepend;
+      profile.c_geo_base = cs.geo_base;
+      // Half the TE schemes depref to *peer level* — the value collides with
+      // the genuine peer LocPrf, which is exactly why the paper must filter
+      // TE-tagged routes before trusting LocPrf (bench_ablation_inference).
+      profile.te_locpref_value = rng_.chance(0.5) ? profile.policy.lp_peer : 50;
+
+      profile.publishes_irr = rng_.chance(publish_prob(profile.tier));
+      profile.tags_relationships = rng_.chance(tag_prob(profile.tier));
+      profile.strips_communities = rng_.chance(p().strip_prob);
+      profile.geo_tags = rng_.chance(p().geo_prob);
+      profile.te_enabled = rng_.chance(p().te_enabled_prob);
+      profile.cryptic_remarks = profile.publishes_irr && rng_.chance(p().cryptic_prob);
+    }
+
+    // The single reversal's endpoints must stay interpretable, and the
+    // evangelist documents its scheme meticulously (as its real-world
+    // counterpart does).
+    for (Asn asn : reversal_endpoints_) {
+      if (asn == 0) continue;
+      AsProfile& profile = net_.profiles_.at(asn);
+      profile.publishes_irr = true;
+      profile.tags_relationships = true;
+      profile.cryptic_remarks = false;
+    }
+    if (net_.evangelist_ != 0) {
+      AsProfile& profile = net_.profiles_.at(net_.evangelist_);
+      profile.publishes_irr = true;
+      profile.tags_relationships = true;
+      profile.strips_communities = false;
+      profile.cryptic_remarks = false;
+    }
+
+    // Relaxed IPv6 exporters.  Healers leak upward (toward providers) to
+    // stitch the partitioned cones back together; the rest leak only to
+    // peers — enough to create ordinary (non-necessary) valley paths.
+    std::unordered_set<Asn> relaxed(healers_.begin(), healers_.end());
+    for (Asn asn : healers_) {
+      net_.profiles_.at(asn).policy.relaxed_export_up = true;
+    }
+    // Ordinary relaxation is confined to tier-3: a relaxed tier-2 with a
+    // large peering mesh floods the whole plane with valley paths, which is
+    // not what the (selective, partial-transit style) relaxation the paper
+    // describes looks like.
+    std::vector<Asn> candidates;
+    for (Asn asn : tier3_) {
+      if (net_.profiles_.at(asn).v6_capable) candidates.push_back(asn);
+    }
+    rng_.shuffle(candidates);
+    for (Asn asn : candidates) {
+      if (relaxed.size() >= p().relaxed_count + healers_.size()) break;
+      if (relaxed.insert(asn).second) {
+        net_.profiles_.at(asn).policy.relaxed_export = true;
+        net_.profiles_.at(asn).policy.relax_origin_fraction = p().relax_origin_fraction;
+      }
+    }
+    for (Asn asn : relaxed) net_.relaxed_.push_back(asn);
+    std::sort(net_.relaxed_.begin(), net_.relaxed_.end());
+  }
+
+  void pick_vantages() {
+    // The collectors peer with the evangelist directly (as RouteViews does
+    // with Hurricane Electric): its RIB is what makes its open peering mesh
+    // observable in both planes.
+    if (net_.evangelist_ != 0) net_.vantages_.push_back(net_.evangelist_);
+    auto sample = [this](const std::vector<Asn>& tier, std::size_t count) {
+      // Prefer v6-capable vantages but keep a few v4-only ones, matching the
+      // real collectors' mixed peer sets.
+      std::vector<Asn> pool = tier;
+      rng_.shuffle(pool);
+      std::stable_sort(pool.begin(), pool.end(), [this](Asn a, Asn b) {
+        return net_.profiles_.at(a).v6_capable > net_.profiles_.at(b).v6_capable;
+      });
+      const std::size_t keep_v4_only = count / 5;
+      std::size_t taken = 0;
+      for (std::size_t i = 0; i < pool.size() && taken < count - keep_v4_only; ++i) {
+        if (!in(net_.vantages_, pool[i])) {
+          net_.vantages_.push_back(pool[i]);
+          ++taken;
+        }
+      }
+      for (auto it = pool.rbegin(); it != pool.rend() && taken < count; ++it) {
+        if (!in(net_.vantages_, *it)) {
+          net_.vantages_.push_back(*it);
+          ++taken;
+        }
+      }
+    };
+
+    // Guarantee vantage points inside both exclusive cones so the partition
+    // (and the necessity of its healing valleys) is observable.
+    // (Skipping the healer endpoints themselves: their bridge link would
+    // give the vantage a valley-free path across the partition.)
+    for (std::size_t i = p().healer_pairs; i < p().healer_pairs + 2 && i < cone_a_.size(); ++i) {
+      net_.vantages_.push_back(cone_a_[i]);
+    }
+    for (std::size_t i = p().healer_pairs; i < p().healer_pairs + 2 && i < cone_b_.size(); ++i) {
+      net_.vantages_.push_back(cone_b_[i]);
+    }
+    sample(tier1_, p().vantage_tier1);
+    sample(tier2_, p().vantage_tier2);
+    sample(tier3_, p().vantage_tier3);
+    sample(stubs_, p().vantage_stub);
+    std::sort(net_.vantages_.begin(), net_.vantages_.end());
+    net_.vantages_.erase(std::unique(net_.vantages_.begin(), net_.vantages_.end()),
+                         net_.vantages_.end());
+  }
+
+  void make_te() {
+    for (const auto& [asn, profile] : net_.profiles_) {
+      if (!profile.te_enabled) continue;
+      for (const auto& [origin, other] : net_.profiles_) {
+        (void)other;
+        if (origin == asn) continue;
+        const double u = hash_unit(hash_mix(static_cast<std::uint64_t>(asn) << 32 | origin,
+                                            kSaltTe ^ net_.params_.seed));
+        if (u < p().te_origin_prob) {
+          net_.te_.set(asn, origin, profile.te_locpref_value);
+        }
+      }
+    }
+  }
+
+  Rng rng_;
+  SyntheticInternet net_;
+  std::vector<Asn> tier1_, tier2_, tier3_, stubs_;
+  std::vector<Asn> cone_a_, cone_b_, healers_;
+  std::array<Asn, 2> reversal_endpoints_{0, 0};
+  std::vector<LinkSpec> links_;
+  std::unordered_map<LinkKey, std::size_t, LinkKeyHash> link_index_;
+  std::unordered_map<Asn, std::vector<std::size_t>> by_as_;
+  std::unordered_map<Asn, std::vector<std::size_t>> provider_links_;
+  std::unordered_map<Asn, std::size_t> customer_count_;
+};
+
+SyntheticInternet SyntheticInternet::generate(const GenParams& params) {
+  return Generator(params).build();
+}
+
+const AsProfile& SyntheticInternet::profile(Asn asn) const {
+  auto it = profiles_.find(asn);
+  if (it == profiles_.end()) {
+    throw InvalidArgument("SyntheticInternet: unknown AS" + std::to_string(asn));
+  }
+  return it->second;
+}
+
+Prefix SyntheticInternet::prefix_of(Asn asn, IpVersion af) const {
+  if (af == IpVersion::V4) {
+    const std::uint32_t addr = 10u << 24 | (asn & 0xffffu) << 8;
+    return Prefix(IpAddress::v4(addr), 24);
+  }
+  std::array<std::uint8_t, 16> raw{};
+  raw[0] = 0x20;
+  raw[1] = 0x01;
+  raw[2] = 0x0d;
+  raw[3] = 0xb8;
+  raw[4] = static_cast<std::uint8_t>(asn >> 8);
+  raw[5] = static_cast<std::uint8_t>(asn);
+  return Prefix(IpAddress::v6(raw), 48);
+}
+
+Asn SyntheticInternet::origin_of(const Prefix& prefix) const {
+  Asn asn = 0;
+  if (prefix.version() == IpVersion::V4) {
+    if (prefix.length() != 24) return 0;
+    const std::uint32_t addr = prefix.address().v4_value();
+    if (addr >> 24 != 10) return 0;
+    asn = (addr >> 8) & 0xffffu;
+  } else {
+    if (prefix.length() != 48) return 0;
+    const auto raw = prefix.address().bytes();
+    if (raw[0] != 0x20 || raw[1] != 0x01 || raw[2] != 0x0d || raw[3] != 0xb8) return 0;
+    asn = static_cast<Asn>(raw[4]) << 8 | raw[5];
+  }
+  return profiles_.count(asn) ? asn : 0;
+}
+
+std::vector<Asn> SyntheticInternet::v6_ases() const {
+  std::vector<Asn> out;
+  for (const auto& [asn, profile] : profiles_) {
+    if (profile.v6_capable) out.push_back(asn);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool SyntheticInternet::geo_tag_applies(Asn asn, Asn origin) const {
+  const double u = hash_unit(
+      hash_mix(static_cast<std::uint64_t>(asn) << 32 | origin, kSaltGeo ^ params_.seed));
+  return u < params_.geo_origin_prob;
+}
+
+std::unordered_map<Asn, prop::NodePolicy> SyntheticInternet::policies(IpVersion af) const {
+  std::unordered_map<Asn, prop::NodePolicy> out;
+  out.reserve(profiles_.size());
+  for (const auto& [asn, profile] : profiles_) {
+    prop::NodePolicy policy = profile.policy;
+    if (af == IpVersion::V4) {
+      policy.relaxed_export = false;  // relaxation is v6-specific
+      policy.relaxed_export_up = false;
+    }
+    out.emplace(asn, policy);
+  }
+  return out;
+}
+
+}  // namespace htor::gen

@@ -1,0 +1,93 @@
+// Emission of the synthetic IRR dump: one aut-num object per publishing AS,
+// documenting its community scheme in "remarks:" prose.  Three phrasing
+// dialects mirror the heterogeneity of real operator documentation; a small
+// "cryptic" population publishes prose no miner can interpret, capping the
+// dictionary's reach exactly the way real IRR data does.
+#include <algorithm>
+#include <sstream>
+
+#include "gen/internet.hpp"
+
+namespace htor::gen {
+
+namespace {
+
+struct Phrasing {
+  const char* customer;
+  const char* peer;
+  const char* provider;
+  const char* sibling;
+  const char* te_locpref;  // printf-style with one %u for the value
+  const char* prepend;
+  const char* geo;  // with one %u for the region index
+};
+
+constexpr Phrasing kPhrasings[3] = {
+    {"routes learned from customers", "routes learned from peers",
+     "routes learned from upstream providers", "routes from sibling ASes",
+     "set local-pref to %u (backup)", "prepend once towards peers",
+     "route originated in city-%u"},
+    {"customer routes", "peer routes received at public peering",
+     "transit provider routes", "internal routes of our backbone",
+     "sets local preference to %u", "prepend twice on export",
+     "received in region %u"},
+    {"received from customer", "received from peering partner",
+     "received from upstream transit", "routes from sibling",
+     "local-pref %u applied on ingress", "prepend 3x towards upstreams",
+     "PoP %u ingress"},
+};
+
+std::string format_one(const char* fmt, unsigned value) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, fmt, value);
+  return buf;
+}
+
+void remark(std::ostringstream& os, Asn asn, std::uint16_t value, const std::string& text) {
+  os << "remarks:        " << asn << ":" << value << "   " << text << "\n";
+}
+
+}  // namespace
+
+std::string SyntheticInternet::irr_dump() const {
+  std::vector<Asn> publishers;
+  for (const auto& [asn, profile] : profiles_) {
+    if (profile.publishes_irr) publishers.push_back(asn);
+  }
+  std::sort(publishers.begin(), publishers.end());
+
+  std::ostringstream os;
+  os << "% Synthetic IRR dump (hybridtor); format follows RPSL whois output\n\n";
+  for (Asn asn : publishers) {
+    const AsProfile& pr = profiles_.at(asn);
+    os << "aut-num:        AS" << asn << "\n";
+    os << "as-name:        SYNTH-" << asn << "\n";
+    os << "descr:          synthetic " << to_string(pr.tier) << " AS\n";
+    os << "remarks:        ===== BGP communities =====\n";
+    if (pr.cryptic_remarks) {
+      // Documented, but in prose no dictionary miner can act on.
+      remark(os, asn, pr.c_customer, "type A routes");
+      remark(os, asn, pr.c_peer, "type B routes");
+      remark(os, asn, pr.c_provider, "type C routes");
+    } else {
+      const Phrasing& ph = kPhrasings[pr.phrasing_style % 3];
+      remark(os, asn, pr.c_customer, ph.customer);
+      remark(os, asn, pr.c_peer, ph.peer);
+      remark(os, asn, pr.c_provider, ph.provider);
+      remark(os, asn, pr.c_sibling, ph.sibling);
+      remark(os, asn, pr.c_te_locpref,
+             format_one(ph.te_locpref, static_cast<unsigned>(pr.te_locpref_value)));
+      remark(os, asn, pr.c_prepend, ph.prepend);
+      for (unsigned g = 0; g < 4; ++g) {
+        remark(os, asn, static_cast<std::uint16_t>(pr.c_geo_base + g),
+               format_one(ph.geo, g + 1));
+      }
+    }
+    os << "mnt-by:         MAINT-AS" << asn << "\n";
+    os << "source:         SYNTHIRR\n";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace htor::gen

@@ -1,0 +1,123 @@
+// Tuning knobs of the synthetic Internet (DESIGN.md §2).
+//
+// Defaults are calibrated so the August-2010 observables the paper reports
+// emerge at a laptop-friendly scale: ~2600 ASes instead of ~35k, with the
+// same *fractions* (coverage, hybrid share and mix, valley share).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace htor::gen {
+
+struct GenParams {
+  std::uint64_t seed = 42;
+
+  // --- population -------------------------------------------------------
+  std::size_t tier1_count = 12;
+  std::size_t tier2_count = 170;
+  std::size_t tier3_count = 420;
+  std::size_t stub_count = 2000;
+  std::size_t sibling_pairs = 15;
+
+  // --- connectivity -----------------------------------------------------
+  /// Probability of a peering link between two tier-2 ASes.
+  double t2_peer_prob = 0.05;
+  /// Probability that a tier-3 AS opens 1-2 peering links.
+  double t3_peer_prob = 0.25;
+  /// Probability that a stub peers with another stub (IXP-style).
+  double stub_peer_prob = 0.03;
+  /// Probability a tier-3 AS buys transit from a tier-1 instead of tier-2.
+  double t3_tier1_provider_prob = 0.15;
+  /// Probability a stub's provider is a tier-2 (else tier-3).
+  double stub_tier2_provider_prob = 0.45;
+  /// Tier-2 ASes single-homed behind each disputing tier-1 (exclusive cone).
+  std::size_t exclusive_cone_t2 = 3;
+
+  // --- IPv6 adoption ----------------------------------------------------
+  double v6_tier2 = 0.85;
+  double v6_tier3 = 0.65;
+  double v6_stub = 0.45;
+  /// Probability that a link between two v6-capable ASes carries IPv6.
+  double dual_link_prob = 0.85;
+  /// IPv6-only peering links (new v6 peerings with no v4 counterpart).
+  std::size_t v6_only_peer_links = 1000;
+  /// Two tier-1s refuse to peer in IPv6 (the AS6939/AS174-style dispute that
+  /// partitions strict valley-free IPv6 routing).
+  bool v6_tier1_dispute = true;
+
+  /// 2010 reality: most classic tier-1s lagged on IPv6.  Beyond the two
+  /// disputants and the evangelist, each tier-1 is v6-capable only with
+  /// this probability.  Tier-2s stranded without a v6-capable transit chain
+  /// buy v6-only transit from another tier-2 — the deep, sparse IPv6
+  /// hierarchy of the era.
+  double v6_tier1_extra = 0.35;
+
+  /// A Hurricane-Electric-style "IPv6 evangelist" tier-1: peers openly in
+  /// IPv4 and turns those peerings into free IPv6 transit — the archetypal
+  /// p2p(v4)/p2c(v6) hybrid and the hub whose misinference drives Figure 2.
+  bool v6_evangelist = true;
+  std::size_t evangelist_peer_t2 = 60;
+  std::size_t evangelist_peer_t3 = 60;
+  /// Probability that one of its dual-stack peerings is free v6 transit.
+  double evangelist_free_transit = 0.9;
+
+  // --- hybrid relationships ----------------------------------------------
+  /// Fraction of dual-stack links planted with a hybrid relationship.
+  double hybrid_fraction = 0.12;
+  /// Of those: share that are p2p in IPv4 but transit in IPv6.
+  double hybrid_p2p4_transit6_share = 0.67;
+  /// Plant exactly one p2c(v4)/c2p(v6) reversal, as the paper found.
+  bool plant_reversal = true;
+
+  // --- policies -----------------------------------------------------------
+  /// ASes with relaxed IPv6 export (paired healers across the dispute
+  /// partition are added on top of this count).
+  std::size_t relaxed_count = 40;
+  /// Fraction of origins an ordinarily-relaxed AS actually leaks to peers
+  /// (partial-transit selectivity).
+  double relax_origin_fraction = 0.55;
+  /// Healer pairs: exclusive-cone tier-2s bridged by a v6-only peering and
+  /// marked relaxed on both sides.
+  std::size_t healer_pairs = 1;
+  /// Fraction of stubs that prepend toward providers.
+  double prepend_stub_prob = 0.15;
+  /// Probability an AS applies TE LocPrf overrides at all.
+  double te_enabled_prob = 0.40;
+  /// Per-(AS, origin) probability of an override when enabled.
+  double te_origin_prob = 0.03;
+
+  // --- communities / IRR ---------------------------------------------------
+  double publish_tier1 = 0.95;
+  double publish_tier2 = 0.93;
+  double publish_tier3 = 0.80;
+  double publish_stub = 0.50;
+  /// Probability an AS tags relationship ingress communities (by tier).
+  double tag_tier1 = 0.95;
+  double tag_tier2 = 0.93;
+  double tag_tier3 = 0.90;
+  double tag_stub = 0.65;
+  /// Probability an AS strips inbound communities.
+  double strip_prob = 0.05;
+  /// Probability a tagging AS also adds geo communities.
+  double geo_prob = 0.30;
+  /// Per-(AS, origin) probability of a geo tag when the AS geo-tags.
+  double geo_origin_prob = 0.5;
+  /// Publishing ASes whose remarks use phrasing no miner can interpret.
+  double cryptic_prob = 0.05;
+
+  // --- collection -----------------------------------------------------------
+  std::size_t vantage_tier1 = 2;
+  std::size_t vantage_tier2 = 12;
+  std::size_t vantage_tier3 = 12;
+  std::size_t vantage_stub = 8;
+
+  std::size_t total_ases() const {
+    return tier1_count + tier2_count + tier3_count + stub_count;
+  }
+};
+
+/// A smaller preset for unit tests (seconds, not minutes).
+GenParams small_params(std::uint64_t seed = 7);
+
+}  // namespace htor::gen

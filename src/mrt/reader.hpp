@@ -1,0 +1,35 @@
+// MRT deserializer: iterate the records of an in-memory or on-disk MRT file.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mrt/record.hpp"
+#include "util/bytes.hpp"
+
+namespace htor::mrt {
+
+class MrtReader {
+ public:
+  /// Read from an in-memory buffer (not copied; must outlive the reader).
+  explicit MrtReader(std::span<const std::uint8_t> data) : reader_(data) {}
+
+  /// Next record, or nullopt at clean end-of-stream.  Throws DecodeError on
+  /// a truncated or structurally invalid record.
+  std::optional<Record> next();
+
+  /// Remaining unread bytes.
+  std::size_t remaining() const { return reader_.remaining(); }
+
+ private:
+  ByteReader reader_;
+};
+
+/// Load a whole file into memory.  Throws Error on I/O failure.
+std::vector<std::uint8_t> load_file(const std::string& path);
+
+/// Parse every record of a buffer.
+std::vector<Record> read_all(std::span<const std::uint8_t> data);
+
+}  // namespace htor::mrt

@@ -1,0 +1,112 @@
+// MRT record model (RFC 6396).
+//
+// Only the record types a route collector produces are modelled:
+// TABLE_DUMP_V2 (RIB snapshots, what RouteViews/RIPE RIS publish as "bviews")
+// and BGP4MP (live update traces).  Unknown types survive round-trips as raw
+// payloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bgp/message.hpp"
+#include "bgp/path_attrs.hpp"
+#include "netbase/asn.hpp"
+#include "netbase/ip.hpp"
+#include "netbase/prefix.hpp"
+
+namespace htor::mrt {
+
+enum class MrtType : std::uint16_t {
+  TableDumpV2 = 13,
+  Bgp4mp = 16,
+};
+
+/// TABLE_DUMP_V2 subtypes.
+enum class TableDumpV2Subtype : std::uint16_t {
+  PeerIndexTable = 1,
+  RibIpv4Unicast = 2,
+  RibIpv4Multicast = 3,
+  RibIpv6Unicast = 4,
+  RibIpv6Multicast = 5,
+  RibGeneric = 6,
+};
+
+/// BGP4MP subtypes.
+enum class Bgp4mpSubtype : std::uint16_t {
+  StateChange = 0,
+  Message = 1,
+  MessageAs4 = 4,
+  StateChangeAs4 = 5,
+};
+
+/// One collector peer as listed in the PEER_INDEX_TABLE.
+struct PeerEntry {
+  std::uint32_t bgp_id = 0;
+  IpAddress address;  // determines the "IPv6 address" type bit
+  Asn asn = 0;        // 4-byte encoding used when > 65535
+
+  friend bool operator==(const PeerEntry&, const PeerEntry&) = default;
+};
+
+struct PeerIndexTable {
+  std::uint32_t collector_bgp_id = 0;
+  std::string view_name;
+  std::vector<PeerEntry> peers;
+
+  friend bool operator==(const PeerIndexTable&, const PeerIndexTable&) = default;
+};
+
+/// One route (one peer's best path) inside a RIB record.
+struct RibEntry {
+  std::uint16_t peer_index = 0;
+  std::uint32_t originated_time = 0;
+  bgp::PathAttributes attrs;  // MP_REACH carried in the abbreviated MRT form
+
+  friend bool operator==(const RibEntry&, const RibEntry&) = default;
+};
+
+/// RIB_IPV4_UNICAST / RIB_IPV6_UNICAST record: all peers' routes for one
+/// prefix.
+struct RibPrefixRecord {
+  std::uint32_t sequence = 0;
+  Prefix prefix;
+  std::vector<RibEntry> entries;
+
+  friend bool operator==(const RibPrefixRecord&, const RibPrefixRecord&) = default;
+};
+
+/// BGP4MP_MESSAGE / BGP4MP_MESSAGE_AS4 record.
+struct Bgp4mpMessage {
+  Asn peer_as = 0;
+  Asn local_as = 0;
+  std::uint16_t interface_index = 0;
+  IpAddress peer_ip;
+  IpAddress local_ip;
+  bgp::Message message;
+  bool as4 = true;  // MESSAGE_AS4 (4-byte ASN header fields)
+
+  friend bool operator==(const Bgp4mpMessage&, const Bgp4mpMessage&) = default;
+};
+
+/// A record type this library does not model.
+struct RawRecord {
+  std::uint16_t type = 0;
+  std::uint16_t subtype = 0;
+  std::vector<std::uint8_t> payload;
+
+  friend bool operator==(const RawRecord&, const RawRecord&) = default;
+};
+
+using RecordBody = std::variant<PeerIndexTable, RibPrefixRecord, Bgp4mpMessage, RawRecord>;
+
+struct Record {
+  std::uint32_t timestamp = 0;
+  RecordBody body;
+
+  friend bool operator==(const Record&, const Record&) = default;
+};
+
+}  // namespace htor::mrt

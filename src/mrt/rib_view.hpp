@@ -1,0 +1,61 @@
+// Analysis-level view of a collector RIB: one ObservedRoute per
+// (vantage peer, prefix), with the attributes the paper's method consumes —
+// the AS path, the communities, and the peer's LocPrf when it exports one.
+//
+// rib_from_records() performs the PEER_INDEX_TABLE join that turns raw MRT
+// TABLE_DUMP_V2 records into observed routes; records_from_rib() is the
+// inverse and is what the synthetic collector uses to emit dumps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mrt/record.hpp"
+
+namespace htor::mrt {
+
+struct ObservedRoute {
+  IpVersion af = IpVersion::V4;
+  Prefix prefix;
+  Asn peer_asn = 0;  ///< the collector's vantage peer
+  std::vector<Asn> as_path;  ///< [peer … origin], prepends preserved
+  std::optional<std::uint32_t> local_pref;
+  std::vector<bgp::Community> communities;
+
+  Asn origin_asn() const { return as_path.empty() ? 0 : as_path.back(); }
+
+  friend bool operator==(const ObservedRoute&, const ObservedRoute&) = default;
+};
+
+class ObservedRib {
+ public:
+  void add(ObservedRoute route);
+
+  const std::vector<ObservedRoute>& routes() const { return routes_; }
+
+  /// Routes of one family, by reference into routes().
+  std::vector<const ObservedRoute*> routes_of(IpVersion af) const;
+
+  std::size_t size() const { return routes_.size(); }
+  std::size_t size_of(IpVersion af) const;
+
+ private:
+  std::vector<ObservedRoute> routes_;
+  std::size_t v4_count_ = 0;
+  std::size_t v6_count_ = 0;
+};
+
+/// Join RIB records against their PEER_INDEX_TABLE.  Records before the
+/// first peer-index table are rejected (DecodeError), as are entries whose
+/// peer index is out of range.  AS_SETs are flattened into the path.
+ObservedRib rib_from_records(const std::vector<Record>& records);
+
+/// Serialize an observed RIB back to MRT TABLE_DUMP_V2 records (one
+/// PEER_INDEX_TABLE followed by one RIB record per prefix, entries grouped).
+/// Routes are grouped per family; `timestamp` stamps every record.
+std::vector<Record> records_from_rib(const ObservedRib& rib, std::uint32_t collector_bgp_id,
+                                     const std::string& view_name, std::uint32_t timestamp);
+
+}  // namespace htor::mrt

@@ -1,0 +1,124 @@
+#include "mrt/writer.hpp"
+
+#include <fstream>
+
+#include "bgp/nlri.hpp"
+
+namespace htor::mrt {
+
+namespace {
+
+void encode_peer_index_table(ByteWriter& w, const PeerIndexTable& pit) {
+  w.u32(pit.collector_bgp_id);
+  w.u16(static_cast<std::uint16_t>(pit.view_name.size()));
+  w.text(pit.view_name);
+  w.u16(static_cast<std::uint16_t>(pit.peers.size()));
+  for (const auto& peer : pit.peers) {
+    std::uint8_t type = 0;
+    if (peer.address.is_v6()) type |= 0x01;
+    const bool as4 = is_4byte(peer.asn);
+    if (as4) type |= 0x02;
+    w.u8(type);
+    w.u32(peer.bgp_id);
+    w.bytes(peer.address.bytes());
+    if (as4) {
+      w.u32(peer.asn);
+    } else {
+      w.u16(static_cast<std::uint16_t>(peer.asn));
+    }
+  }
+}
+
+void encode_rib(ByteWriter& w, const RibPrefixRecord& rib) {
+  w.u32(rib.sequence);
+  bgp::encode_nlri_prefix(w, rib.prefix);
+  w.u16(static_cast<std::uint16_t>(rib.entries.size()));
+  for (const auto& entry : rib.entries) {
+    w.u16(entry.peer_index);
+    w.u32(entry.originated_time);
+    const auto attrs = bgp::encode_path_attributes(entry.attrs, bgp::MpReachForm::MrtRib);
+    w.u16(static_cast<std::uint16_t>(attrs.size()));
+    w.bytes(attrs);
+  }
+}
+
+void encode_bgp4mp(ByteWriter& w, const Bgp4mpMessage& msg) {
+  if (msg.as4) {
+    w.u32(msg.peer_as);
+    w.u32(msg.local_as);
+  } else {
+    w.u16(static_cast<std::uint16_t>(msg.peer_as));
+    w.u16(static_cast<std::uint16_t>(msg.local_as));
+  }
+  w.u16(msg.interface_index);
+  if (msg.peer_ip.version() != msg.local_ip.version()) {
+    throw InvalidArgument("BGP4MP peer/local address family mismatch");
+  }
+  w.u16(msg.peer_ip.is_v4() ? 1 : 2);  // AFI
+  w.bytes(msg.peer_ip.bytes());
+  w.bytes(msg.local_ip.bytes());
+  w.bytes(bgp::encode_message(msg.message));
+}
+
+std::uint16_t subtype_of(const RecordBody& body) {
+  if (std::holds_alternative<PeerIndexTable>(body)) {
+    return static_cast<std::uint16_t>(TableDumpV2Subtype::PeerIndexTable);
+  }
+  if (const auto* rib = std::get_if<RibPrefixRecord>(&body)) {
+    return static_cast<std::uint16_t>(rib->prefix.version() == IpVersion::V4
+                                          ? TableDumpV2Subtype::RibIpv4Unicast
+                                          : TableDumpV2Subtype::RibIpv6Unicast);
+  }
+  if (const auto* msg = std::get_if<Bgp4mpMessage>(&body)) {
+    return static_cast<std::uint16_t>(msg->as4 ? Bgp4mpSubtype::MessageAs4
+                                               : Bgp4mpSubtype::Message);
+  }
+  return std::get<RawRecord>(body).subtype;
+}
+
+std::uint16_t type_of(const RecordBody& body) {
+  if (std::holds_alternative<Bgp4mpMessage>(body)) {
+    return static_cast<std::uint16_t>(MrtType::Bgp4mp);
+  }
+  if (std::holds_alternative<RawRecord>(body)) return std::get<RawRecord>(body).type;
+  return static_cast<std::uint16_t>(MrtType::TableDumpV2);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_record(const Record& record) {
+  ByteWriter body;
+  if (const auto* pit = std::get_if<PeerIndexTable>(&record.body)) {
+    encode_peer_index_table(body, *pit);
+  } else if (const auto* rib = std::get_if<RibPrefixRecord>(&record.body)) {
+    encode_rib(body, *rib);
+  } else if (const auto* msg = std::get_if<Bgp4mpMessage>(&record.body)) {
+    encode_bgp4mp(body, *msg);
+  } else {
+    body.bytes(std::get<RawRecord>(record.body).payload);
+  }
+
+  ByteWriter w;
+  w.u32(record.timestamp);
+  w.u16(type_of(record.body));
+  w.u16(subtype_of(record.body));
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  w.bytes(body.data());
+  return w.take();
+}
+
+void MrtWriter::write(const Record& record) {
+  const auto bytes = encode_record(record);
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  ++count_;
+}
+
+void MrtWriter::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  out.write(reinterpret_cast<const char*>(buffer_.data()),
+            static_cast<std::streamsize>(buffer_.size()));
+  if (!out) throw Error("write to '" + path + "' failed");
+}
+
+}  // namespace htor::mrt

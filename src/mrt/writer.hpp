@@ -1,0 +1,33 @@
+// MRT serializer.  Produces byte-exact RFC 6396 records/files; what the
+// synthetic collector uses to emit RouteViews-style RIB snapshots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mrt/record.hpp"
+#include "util/bytes.hpp"
+
+namespace htor::mrt {
+
+/// Serialize a single record (common header + body).
+std::vector<std::uint8_t> encode_record(const Record& record);
+
+/// Accumulates records into an in-memory MRT "file".
+class MrtWriter {
+ public:
+  void write(const Record& record);
+
+  const std::vector<std::uint8_t>& data() const { return buffer_; }
+  std::vector<std::uint8_t> take() { return std::move(buffer_); }
+  std::size_t records_written() const { return count_; }
+
+  /// Flush the accumulated bytes to a file.  Throws Error on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace htor::mrt

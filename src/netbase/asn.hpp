@@ -1,0 +1,32 @@
+// Autonomous System Numbers.
+//
+// ASNs are 32-bit (RFC 6793); AS_TRANS (23456) is the 16-bit placeholder used
+// by old speakers.  We keep Asn a plain integer type for cheap use as a graph
+// node id, and provide the textual conventions (asplain / asdot) here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace htor {
+
+using Asn = std::uint32_t;
+
+/// RFC 6793 placeholder for 4-byte ASNs on 2-byte sessions.
+inline constexpr Asn kAsTrans = 23456;
+
+/// Largest value of a 2-byte ASN.
+inline constexpr Asn kMax16BitAsn = 65535;
+
+inline bool is_4byte(Asn asn) { return asn > kMax16BitAsn; }
+
+/// "asplain" form: plain decimal (RFC 5396 canonical form).
+inline std::string to_asplain(Asn asn) { return std::to_string(asn); }
+
+/// "asdot" form: high.low for 4-byte ASNs, decimal otherwise.
+inline std::string to_asdot(Asn asn) {
+  if (!is_4byte(asn)) return std::to_string(asn);
+  return std::to_string(asn >> 16) + "." + std::to_string(asn & 0xffff);
+}
+
+}  // namespace htor

@@ -1,0 +1,224 @@
+#include "netbase/ip.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace htor {
+
+namespace {
+
+bool parse_v4_into(std::string_view text, std::uint8_t* out4) {
+  auto parts = split(text, '.');
+  if (parts.size() != 4) return false;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t v = 0;
+    if (!parse_u64(parts[static_cast<std::size_t>(i)], v) || v > 255) return false;
+    if (parts[static_cast<std::size_t>(i)].size() > 3) return false;
+    out4[i] = static_cast<std::uint8_t>(v);
+  }
+  return true;
+}
+
+bool parse_hex_group(std::string_view s, std::uint16_t& out) {
+  if (s.empty() || s.size() > 4) return false;
+  std::uint32_t v = 0;
+  for (char c : s) {
+    std::uint32_t d;
+    if (c >= '0' && c <= '9') d = static_cast<std::uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') d = static_cast<std::uint32_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') d = static_cast<std::uint32_t>(c - 'A' + 10);
+    else return false;
+    v = v << 4 | d;
+  }
+  out = static_cast<std::uint16_t>(v);
+  return true;
+}
+
+// Parse RFC 4291 IPv6 text into 16 bytes.  Handles "::" and an optional
+// embedded dotted-quad in the last 32 bits.
+bool parse_v6_into(std::string_view text, std::uint8_t* out16) {
+  if (text.empty()) return false;
+
+  // Split around at most one "::".
+  std::string_view head = text;
+  std::string_view tail;
+  bool has_gap = false;
+  if (auto gap = text.find("::"); gap != std::string_view::npos) {
+    if (text.find("::", gap + 1) != std::string_view::npos) return false;  // two gaps
+    has_gap = true;
+    head = text.substr(0, gap);
+    tail = text.substr(gap + 2);
+  }
+
+  auto parse_side = [](std::string_view side, std::vector<std::uint16_t>& groups,
+                       bool allow_v4_tail) -> bool {
+    if (side.empty()) return true;
+    auto parts = split(side, ':');
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (parts[i].empty()) return false;  // stray ':' (the "::" was already removed)
+      const bool last = i + 1 == parts.size();
+      if (last && allow_v4_tail && parts[i].find('.') != std::string_view::npos) {
+        std::uint8_t quad[4];
+        if (!parse_v4_into(parts[i], quad)) return false;
+        groups.push_back(static_cast<std::uint16_t>(quad[0] << 8 | quad[1]));
+        groups.push_back(static_cast<std::uint16_t>(quad[2] << 8 | quad[3]));
+        continue;
+      }
+      std::uint16_t g;
+      if (!parse_hex_group(parts[i], g)) return false;
+      groups.push_back(g);
+    }
+    return true;
+  };
+
+  std::vector<std::uint16_t> left;
+  std::vector<std::uint16_t> right;
+  if (!parse_side(head, left, !has_gap)) return false;
+  if (has_gap && !parse_side(tail, right, true)) return false;
+
+  const std::size_t total = left.size() + right.size();
+  if (has_gap) {
+    if (total > 7) return false;  // "::" must stand for at least one group
+  } else {
+    if (total != 8) return false;
+  }
+
+  std::array<std::uint16_t, 8> groups{};
+  for (std::size_t i = 0; i < left.size(); ++i) groups[i] = left[i];
+  for (std::size_t i = 0; i < right.size(); ++i) {
+    groups[8 - right.size() + i] = right[i];
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    out16[2 * i] = static_cast<std::uint8_t>(groups[i] >> 8);
+    out16[2 * i + 1] = static_cast<std::uint8_t>(groups[i]);
+  }
+  return true;
+}
+
+}  // namespace
+
+IpAddress::IpAddress(IpVersion v, std::span<const std::uint8_t> raw) : version_(v) {
+  if (raw.size() != address_bytes(v)) {
+    throw InvalidArgument("IpAddress: expected " + std::to_string(address_bytes(v)) +
+                          " bytes, got " + std::to_string(raw.size()));
+  }
+  bytes_.fill(0);
+  std::copy(raw.begin(), raw.end(), bytes_.begin());
+}
+
+IpAddress IpAddress::v4(std::uint32_t host_order) {
+  std::array<std::uint8_t, 4> b{
+      static_cast<std::uint8_t>(host_order >> 24), static_cast<std::uint8_t>(host_order >> 16),
+      static_cast<std::uint8_t>(host_order >> 8), static_cast<std::uint8_t>(host_order)};
+  return IpAddress(IpVersion::V4, b);
+}
+
+IpAddress IpAddress::v6(const std::array<std::uint8_t, 16>& raw) {
+  return IpAddress(IpVersion::V6, raw);
+}
+
+bool IpAddress::try_parse(std::string_view text, IpAddress& out) {
+  std::array<std::uint8_t, 16> buf{};
+  if (text.find(':') != std::string_view::npos) {
+    if (!parse_v6_into(text, buf.data())) return false;
+    out = IpAddress(IpVersion::V6, buf);
+    return true;
+  }
+  if (!parse_v4_into(text, buf.data())) return false;
+  out = IpAddress(IpVersion::V4, std::span<const std::uint8_t>(buf.data(), 4));
+  return true;
+}
+
+IpAddress IpAddress::parse(std::string_view text) {
+  IpAddress out;
+  if (!try_parse(text, out)) throw ParseError("bad IP address '" + std::string(text) + "'");
+  return out;
+}
+
+std::uint32_t IpAddress::v4_value() const {
+  if (!is_v4()) throw InvalidArgument("v4_value on IPv6 address");
+  return static_cast<std::uint32_t>(bytes_[0]) << 24 | static_cast<std::uint32_t>(bytes_[1]) << 16 |
+         static_cast<std::uint32_t>(bytes_[2]) << 8 | static_cast<std::uint32_t>(bytes_[3]);
+}
+
+bool IpAddress::bit(std::uint8_t i) const {
+  if (i >= address_bits(version_)) throw InvalidArgument("IpAddress::bit out of range");
+  return (bytes_[i / 8] >> (7 - i % 8) & 1) != 0;
+}
+
+IpAddress IpAddress::masked(std::uint8_t keep_bits) const {
+  const std::uint8_t max_bits = address_bits(version_);
+  if (keep_bits > max_bits) throw InvalidArgument("IpAddress::masked: mask too long");
+  IpAddress out = *this;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::size_t bit_lo = i * 8;
+    if (bit_lo >= keep_bits) {
+      out.bytes_[i] = 0;
+    } else if (bit_lo + 8 > keep_bits) {
+      const std::uint8_t keep_in_byte = static_cast<std::uint8_t>(keep_bits - bit_lo);
+      out.bytes_[i] &= static_cast<std::uint8_t>(0xff << (8 - keep_in_byte));
+    }
+  }
+  return out;
+}
+
+std::uint8_t IpAddress::common_prefix_len(const IpAddress& other) const {
+  if (version_ != other.version_) {
+    throw InvalidArgument("common_prefix_len across address families");
+  }
+  const std::uint8_t max_bits = address_bits(version_);
+  for (std::uint8_t i = 0; i < max_bits; ++i) {
+    if (bit(i) != other.bit(i)) return i;
+  }
+  return max_bits;
+}
+
+std::string IpAddress::to_string() const {
+  if (is_v4()) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", bytes_[0], bytes_[1], bytes_[2], bytes_[3]);
+    return buf;
+  }
+  std::array<std::uint16_t, 8> groups;
+  for (std::size_t i = 0; i < 8; ++i) {
+    groups[i] = static_cast<std::uint16_t>(bytes_[2 * i] << 8 | bytes_[2 * i + 1]);
+  }
+  // RFC 5952: compress the longest run of >= 2 zero groups (leftmost on tie).
+  int best_start = -1;
+  int best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";  // groups before the run do not emit a trailing ':'
+      i += best_len;
+      if (i == 8) break;
+      continue;
+    }
+    std::snprintf(buf, sizeof buf, "%x", groups[static_cast<std::size_t>(i)]);
+    out += buf;
+    ++i;
+    if (i < 8 && i != best_start) out += ":";
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+}  // namespace htor

@@ -1,0 +1,89 @@
+// IPv4/IPv6 address value type.
+//
+// A single IpAddress type holds either family (IPv4 in the first 4 bytes of
+// the 16-byte storage).  Text parsing accepts dotted-quad IPv4 and the full
+// RFC 4291 IPv6 grammar ("::" compression, embedded IPv4 tail); formatting
+// follows RFC 5952 (lowercase hex, longest zero run compressed).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace htor {
+
+/// Address family of a route, link, or topology plane.
+enum class IpVersion : std::uint8_t { V4 = 4, V6 = 6 };
+
+inline const char* to_string(IpVersion v) { return v == IpVersion::V4 ? "IPv4" : "IPv6"; }
+
+/// Number of address bytes for a family.
+inline std::size_t address_bytes(IpVersion v) { return v == IpVersion::V4 ? 4 : 16; }
+
+/// Number of address bits for a family.
+inline std::uint8_t address_bits(IpVersion v) { return v == IpVersion::V4 ? 8 * 4 : 8 * 16; }
+
+class IpAddress {
+ public:
+  /// The all-zeros IPv4 address.
+  IpAddress() : version_(IpVersion::V4) { bytes_.fill(0); }
+
+  /// From raw network-order bytes; `raw` must be 4 or 16 bytes matching `v`.
+  IpAddress(IpVersion v, std::span<const std::uint8_t> raw);
+
+  /// IPv4 from a host-order 32-bit value.
+  static IpAddress v4(std::uint32_t host_order);
+
+  /// IPv6 from 16 network-order bytes.
+  static IpAddress v6(const std::array<std::uint8_t, 16>& raw);
+
+  /// Parse either family from text ("192.0.2.1", "2001:db8::1").
+  /// Throws ParseError on malformed input.
+  static IpAddress parse(std::string_view text);
+
+  /// Parse, returning false instead of throwing.
+  static bool try_parse(std::string_view text, IpAddress& out);
+
+  IpVersion version() const { return version_; }
+  bool is_v4() const { return version_ == IpVersion::V4; }
+  bool is_v6() const { return version_ == IpVersion::V6; }
+
+  /// Network-order bytes (4 or 16 depending on family).
+  std::span<const std::uint8_t> bytes() const { return {bytes_.data(), address_bytes(version_)}; }
+
+  /// IPv4 value in host order.  Precondition: is_v4().
+  std::uint32_t v4_value() const;
+
+  /// Bit `i` (0 = most significant).  Precondition: i < address_bits().
+  bool bit(std::uint8_t i) const;
+
+  /// Copy with all bits from `keep_bits` onward cleared (host part zeroed).
+  IpAddress masked(std::uint8_t keep_bits) const;
+
+  /// Length of the common leading bit prefix with `other` (same family only).
+  std::uint8_t common_prefix_len(const IpAddress& other) const;
+
+  /// RFC 5952 / dotted-quad text form.
+  std::string to_string() const;
+
+  friend bool operator==(const IpAddress& a, const IpAddress& b) {
+    return a.version_ == b.version_ && a.bytes_ == b.bytes_;
+  }
+  friend std::strong_ordering operator<=>(const IpAddress& a, const IpAddress& b) {
+    if (a.version_ != b.version_) {
+      return static_cast<std::uint8_t>(a.version_) <=> static_cast<std::uint8_t>(b.version_);
+    }
+    return a.bytes_ <=> b.bytes_;
+  }
+
+ private:
+  IpVersion version_;
+  std::array<std::uint8_t, 16> bytes_{};  // IPv4 uses the first 4 bytes.
+};
+
+}  // namespace htor

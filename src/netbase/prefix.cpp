@@ -1,0 +1,42 @@
+#include "netbase/prefix.hpp"
+
+#include "util/strings.hpp"
+
+namespace htor {
+
+Prefix::Prefix(const IpAddress& addr, std::uint8_t len)
+    : addr_(addr.masked(len)), len_(len) {}
+
+bool Prefix::try_parse(std::string_view text, Prefix& out) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return false;
+  IpAddress addr;
+  if (!IpAddress::try_parse(text.substr(0, slash), addr)) return false;
+  std::uint64_t len = 0;
+  if (!parse_u64(text.substr(slash + 1), len)) return false;
+  if (len > address_bits(addr.version())) return false;
+  out = Prefix(addr, static_cast<std::uint8_t>(len));
+  return true;
+}
+
+Prefix Prefix::parse(std::string_view text) {
+  Prefix out;
+  if (!try_parse(text, out)) throw ParseError("bad prefix '" + std::string(text) + "'");
+  return out;
+}
+
+bool Prefix::contains(const IpAddress& addr) const {
+  if (addr.version() != version()) return false;
+  return addr.masked(len_) == addr_;
+}
+
+bool Prefix::contains(const Prefix& other) const {
+  if (other.version() != version() || other.len_ < len_) return false;
+  return other.addr_.masked(len_) == addr_;
+}
+
+std::string Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(len_);
+}
+
+}  // namespace htor

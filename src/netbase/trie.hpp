@@ -1,0 +1,146 @@
+// Binary (bit-per-level) prefix trie with longest-prefix match.
+//
+// One trie holds one address family; the routing-table style operations are
+// insert/assign, exact lookup, and longest-prefix match.  Nodes are stored in
+// a vector and addressed by index, so the structure is cache-friendly and
+// trivially copyable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netbase/prefix.hpp"
+
+namespace htor {
+
+template <typename T>
+class PrefixTrie {
+ public:
+  explicit PrefixTrie(IpVersion version) : version_(version) {
+    nodes_.push_back(Node{});  // root = /0
+  }
+
+  IpVersion version() const { return version_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Insert or overwrite the value at `prefix`.  Returns true when a new
+  /// entry was created, false when an existing one was replaced.
+  bool assign(const Prefix& prefix, T value) {
+    check_family(prefix);
+    const std::uint32_t node = descend_create(prefix);
+    const bool created = !nodes_[node].value.has_value();
+    nodes_[node].value = std::move(value);
+    if (created) ++size_;
+    return created;
+  }
+
+  /// Exact-match lookup.
+  const T* find(const Prefix& prefix) const {
+    check_family(prefix);
+    std::uint32_t node = 0;
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const std::uint32_t next = child(node, prefix.address().bit(depth));
+      if (next == kNone) return nullptr;
+      node = next;
+    }
+    return nodes_[node].value ? &*nodes_[node].value : nullptr;
+  }
+
+  /// Longest-prefix match for an address; nullopt when nothing covers it.
+  std::optional<Prefix> longest_match(const IpAddress& addr) const {
+    if (addr.version() != version_) {
+      throw InvalidArgument("PrefixTrie::longest_match: family mismatch");
+    }
+    std::optional<Prefix> best;
+    std::uint32_t node = 0;
+    std::uint8_t depth = 0;
+    for (;;) {
+      if (nodes_[node].value) best = Prefix(addr, depth);
+      if (depth == address_bits(version_)) break;
+      const std::uint32_t next = child(node, addr.bit(depth));
+      if (next == kNone) break;
+      node = next;
+      ++depth;
+    }
+    return best;
+  }
+
+  /// Value stored at the longest match; nullptr when nothing covers `addr`.
+  const T* longest_match_value(const IpAddress& addr) const {
+    auto p = longest_match(addr);
+    return p ? find(*p) : nullptr;
+  }
+
+  /// Visit every (prefix, value) pair in unspecified order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::vector<std::pair<std::uint32_t, Prefix>> stack;
+    stack.emplace_back(0, Prefix(zero_address(), 0));
+    while (!stack.empty()) {
+      auto [node, prefix] = stack.back();
+      stack.pop_back();
+      if (nodes_[node].value) fn(prefix, *nodes_[node].value);
+      for (int b = 0; b < 2; ++b) {
+        const std::uint32_t next = nodes_[node].children[b];
+        if (next == kNone) continue;
+        stack.emplace_back(next, extend(prefix, b == 1));
+      }
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  struct Node {
+    std::uint32_t children[2] = {kNone, kNone};
+    std::optional<T> value;
+  };
+
+  void check_family(const Prefix& p) const {
+    if (p.version() != version_) throw InvalidArgument("PrefixTrie: family mismatch");
+  }
+
+  std::uint32_t child(std::uint32_t node, bool bit) const {
+    return nodes_[node].children[bit ? 1 : 0];
+  }
+
+  std::uint32_t descend_create(const Prefix& prefix) {
+    std::uint32_t node = 0;
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const int b = prefix.address().bit(depth) ? 1 : 0;
+      std::uint32_t next = nodes_[node].children[b];
+      if (next == kNone) {
+        next = static_cast<std::uint32_t>(nodes_.size());
+        nodes_[node].children[b] = next;
+        nodes_.push_back(Node{});
+      }
+      node = next;
+    }
+    return node;
+  }
+
+  IpAddress zero_address() const {
+    if (version_ == IpVersion::V4) return IpAddress::v4(0);
+    return IpAddress::v6({});
+  }
+
+  static Prefix extend(const Prefix& p, bool bit) {
+    // Rebuild the child prefix by setting bit `p.length()` when needed.
+    std::array<std::uint8_t, 16> raw{};
+    auto src = p.address().bytes();
+    std::copy(src.begin(), src.end(), raw.begin());
+    if (bit) raw[p.length() / 8] |= static_cast<std::uint8_t>(0x80 >> (p.length() % 8));
+    IpAddress addr = p.version() == IpVersion::V4
+                         ? IpAddress(IpVersion::V4, std::span<const std::uint8_t>(raw.data(), 4))
+                         : IpAddress(IpVersion::V6, raw);
+    return Prefix(addr, static_cast<std::uint8_t>(p.length() + 1));
+  }
+
+  IpVersion version_;
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace htor

@@ -1,0 +1,278 @@
+#include "propagation/engine.hpp"
+
+#include <deque>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace htor::prop {
+
+namespace {
+/// Parent-chain walks are bounded: real AS paths are an order of magnitude
+/// shorter, and the bound keeps transient parent cycles from hanging a walk.
+constexpr std::size_t kMaxPathWalk = 64;
+
+/// LocPrf assigned to routes received through an upward relaxation (a
+/// customer leaking peer-/provider-learned routes to its provider).  Such
+/// last-resort-transit arrangements are depreffed below every normal scheme,
+/// so they only carry traffic that has no policy-compliant alternative.
+constexpr std::uint32_t kLastResortLocPref = 20;
+}  // namespace
+
+Engine::Engine(const AsGraph& graph, const RelationshipMap& rels, IpVersion af,
+               const std::unordered_map<Asn, NodePolicy>& policies, const TeOverrides* te)
+    : te_(te) {
+  asns_ = graph.ases();
+  index_.reserve(asns_.size());
+  for (std::size_t i = 0; i < asns_.size(); ++i) {
+    index_.emplace(asns_[i], static_cast<std::uint32_t>(i));
+  }
+  adj_.resize(asns_.size());
+  policy_.resize(asns_.size());
+  for (std::size_t i = 0; i < asns_.size(); ++i) {
+    auto it = policies.find(asns_[i]);
+    if (it != policies.end()) policy_[i] = it->second;
+  }
+  graph.for_each_link(af, [&](const LinkKey& key) {
+    const Relationship rel = rels.get(key.first, key.second);
+    if (rel == Relationship::Unknown) return;
+    const std::uint32_t a = index_.at(key.first);
+    const std::uint32_t b = index_.at(key.second);
+    adj_[a].push_back({b, rel});
+    adj_[b].push_back({a, reverse(rel)});
+  });
+  best_.resize(asns_.size());
+}
+
+std::uint32_t Engine::index_of(Asn asn) const {
+  auto it = index_.find(asn);
+  if (it == index_.end()) throw InvalidArgument("Engine: unknown AS" + std::to_string(asn));
+  return it->second;
+}
+
+RouteSource Engine::source_of(Relationship rel_node_to_parent) {
+  switch (rel_node_to_parent) {
+    case Relationship::P2C: return RouteSource::Customer;  // parent is my customer
+    case Relationship::P2P: return RouteSource::Peer;
+    case Relationship::C2P: return RouteSource::Provider;
+    case Relationship::S2S: return RouteSource::Sibling;
+    case Relationship::Unknown: break;
+  }
+  return RouteSource::None;
+}
+
+Engine::ExportClass Engine::exportable(const Best& route, Relationship rel_exporter_to_target,
+                                       const NodePolicy& exporter, Asn exporter_asn) const {
+  // Everything goes to customers and siblings.
+  if (rel_exporter_to_target == Relationship::P2C ||
+      rel_exporter_to_target == Relationship::S2S) {
+    return ExportClass::Normal;
+  }
+  // To peers and providers: own and customer-learned routes only
+  // (Gao-Rexford); ordinary relaxation opens a selected slice of peer-/
+  // provider-learned routes to peers (partial transit, taken at normal peer
+  // preference); full healer relaxation opens everything in every direction
+  // but is depreffed by the receiver.
+  switch (route.effective) {
+    case RouteSource::Origin:
+    case RouteSource::Customer:
+      return ExportClass::Normal;
+    case RouteSource::Peer:
+    case RouteSource::Provider:
+      if (rel_exporter_to_target == Relationship::P2P && exporter.relaxed_export &&
+          hash_unit(hash_mix(static_cast<std::uint64_t>(exporter_asn) << 32 | origin_asn_,
+                             0x5e1ec7ull)) < exporter.relax_origin_fraction) {
+        return ExportClass::Normal;
+      }
+      if (exporter.relaxed_export_up) return ExportClass::LastResort;
+      return ExportClass::No;
+    case RouteSource::Sibling:  // effective class is never Sibling
+    case RouteSource::None:
+      return ExportClass::No;
+  }
+  return ExportClass::No;
+}
+
+bool Engine::path_contains(std::uint32_t start, std::uint32_t node) const {
+  std::uint32_t cur = start;
+  for (std::size_t steps = 0; steps < kMaxPathWalk; ++steps) {
+    if (cur == node) return true;
+    const Best& b = best_[cur];
+    if (b.source == RouteSource::None || b.source == RouteSource::Origin) return false;
+    cur = b.parent;
+  }
+  return true;  // over-long chain: treat as a loop and reject
+}
+
+void Engine::run(Asn origin) {
+  origin_asn_ = origin;
+  origin_idx_ = index_of(origin);
+  const std::size_t n = asns_.size();
+
+  best_.assign(n, Best{});
+  best_[origin_idx_].source = RouteSource::Origin;
+  best_[origin_idx_].effective = RouteSource::Origin;
+  best_[origin_idx_].parent = origin_idx_;
+
+  std::deque<std::uint32_t> queue;
+  std::vector<bool> queued(n, false);
+  auto enqueue = [&](std::uint32_t node) {
+    if (node != origin_idx_ && !queued[node]) {
+      queued[node] = true;
+      queue.push_back(node);
+    }
+  };
+  for (const Edge& e : adj_[origin_idx_]) enqueue(e.to);
+
+  activations_ = 0;
+  converged_ = true;
+  const std::size_t activation_cap = 400 * n + 1000;
+
+  while (!queue.empty() && activations_ < activation_cap) {
+    const std::uint32_t m = queue.front();
+    queue.pop_front();
+    queued[m] = false;
+    ++activations_;
+
+    Best chosen;  // source None = no route
+    for (const Edge& e : adj_[m]) {
+      const Best& route = best_[e.to];
+      if (route.source == RouteSource::None) continue;
+      const Relationship rel_n_to_m = reverse(e.rel);
+      const ExportClass export_class =
+          exportable(route, rel_n_to_m, policy_[e.to], asns_[e.to]);
+      if (export_class == ExportClass::No) continue;
+      if (path_contains(e.to, m)) continue;
+
+      Best cand;
+      cand.parent = e.to;
+      cand.source = source_of(e.rel);
+      // Sibling hops are transparent for export purposes.
+      cand.effective = cand.source == RouteSource::Sibling ? route.effective : cand.source;
+      const std::uint32_t prepends =
+          rel_n_to_m == Relationship::C2P ? policy_[e.to].prepend_to_provider : 0;
+      cand.length = route.length + 1 + prepends;
+      const std::uint32_t* override_lp =
+          te_ ? te_->find(asns_[m], origin_asn_) : nullptr;
+      if (export_class == ExportClass::LastResort) {
+        cand.locpref = kLastResortLocPref;  // depreffed last-resort transit
+      } else if (override_lp) {
+        cand.locpref = *override_lp;
+      } else {
+        const NodePolicy& pol = policy_[m];
+        switch (e.rel) {
+          case Relationship::P2C: cand.locpref = pol.lp_customer; break;
+          case Relationship::P2P: cand.locpref = pol.lp_peer; break;
+          case Relationship::C2P: cand.locpref = pol.lp_provider; break;
+          case Relationship::S2S: cand.locpref = pol.lp_sibling; break;
+          case Relationship::Unknown: continue;
+        }
+      }
+
+      if (chosen.source == RouteSource::None) {
+        chosen = cand;
+        continue;
+      }
+      if (cand.locpref != chosen.locpref) {
+        if (cand.locpref > chosen.locpref) chosen = cand;
+        continue;
+      }
+      if (cand.length != chosen.length) {
+        if (cand.length < chosen.length) chosen = cand;
+        continue;
+      }
+      if (asns_[cand.parent] < asns_[chosen.parent]) chosen = cand;
+    }
+
+    const Best& cur = best_[m];
+    const bool changed = cur.source != chosen.source || cur.parent != chosen.parent ||
+                         cur.effective != chosen.effective ||
+                         cur.locpref != chosen.locpref || cur.length != chosen.length;
+    if (changed) {
+      best_[m] = chosen;
+      for (const Edge& e : adj_[m]) enqueue(e.to);
+    }
+  }
+
+  if (!queue.empty()) {
+    converged_ = false;
+    repair_broken_chains();
+  }
+}
+
+void Engine::repair_broken_chains() {
+  // After a capped (oscillating) run the parent pointers may contain cycles
+  // or dangle on routeless nodes.  Drop every route whose chain does not
+  // reach the origin; iterate because dropping a route orphans its
+  // dependents.
+  bool changed = true;
+  std::size_t rounds = 0;
+  while (changed && rounds++ < 2 * kMaxPathWalk) {
+    changed = false;
+    for (std::uint32_t node = 0; node < best_.size(); ++node) {
+      if (best_[node].source == RouteSource::None ||
+          best_[node].source == RouteSource::Origin) {
+        continue;
+      }
+      std::uint32_t cur = node;
+      bool ok = false;
+      for (std::size_t steps = 0; steps < kMaxPathWalk; ++steps) {
+        const Best& b = best_[cur];
+        if (b.source == RouteSource::Origin) {
+          ok = true;
+          break;
+        }
+        if (b.source == RouteSource::None) break;
+        cur = b.parent;
+      }
+      if (!ok) {
+        best_[node] = Best{};
+        changed = true;
+      }
+    }
+  }
+}
+
+bool Engine::has_route(Asn node) const {
+  return best_[index_of(node)].source != RouteSource::None;
+}
+
+std::vector<Asn> Engine::advertised_path(Asn node) const {
+  const std::uint32_t start = index_of(node);
+  if (best_[start].source == RouteSource::None) return {};
+
+  std::vector<Asn> path{asns_[start]};
+  std::uint32_t cur = start;
+  for (std::size_t steps = 0; steps < kMaxPathWalk; ++steps) {
+    const Best& b = best_[cur];
+    if (b.source == RouteSource::Origin) return path;
+    const std::uint32_t parent = b.parent;
+    // Prepending the parent applied when exporting to `cur`: only toward its
+    // provider, i.e. when cur is parent's provider.
+    Relationship rel_cur_to_parent = Relationship::Unknown;
+    for (const Edge& e : adj_[cur]) {
+      if (e.to == parent) {
+        rel_cur_to_parent = e.rel;
+        break;
+      }
+    }
+    const Relationship rel_parent_to_cur = reverse(rel_cur_to_parent);
+    const std::uint32_t prepends =
+        rel_parent_to_cur == Relationship::C2P ? policy_[parent].prepend_to_provider : 0;
+    for (std::uint32_t i = 0; i < 1 + prepends; ++i) path.push_back(asns_[parent]);
+    cur = parent;
+  }
+  throw Error("Engine::advertised_path: parent chain too long (non-converged state)");
+}
+
+std::uint32_t Engine::locpref(Asn node) const { return best_[index_of(node)].locpref; }
+
+RouteSource Engine::source(Asn node) const { return best_[index_of(node)].source; }
+
+std::optional<Asn> Engine::best_neighbor(Asn node) const {
+  const Best& b = best_[index_of(node)];
+  if (b.source == RouteSource::None || b.source == RouteSource::Origin) return std::nullopt;
+  return asns_[b.parent];
+}
+
+}  // namespace htor::prop

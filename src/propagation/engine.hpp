@@ -1,0 +1,117 @@
+// Policy-driven BGP route propagation over one address-family plane.
+//
+// For one origin AS at a time, the engine computes every AS's best route as a
+// path-vector fixpoint:
+//
+//   decision:  higher LocPrf (relationship-based, with TE overrides)
+//              -> shorter AS path (prepending included)
+//              -> lower neighbor ASN (deterministic tiebreak);
+//   export:    own and customer-learned routes go to everyone; peer- and
+//              provider-learned routes go to customers (and siblings) only —
+//              unless the exporter has `relaxed_export`, the IPv6-specific
+//              behaviour that creates valley paths;
+//   loop suppression: a route is never accepted from a neighbor whose path
+//              already contains the deciding AS.
+//
+// This is the substrate that stands in for the real Internet's BGP: observed
+// AS paths (including valleys, prepending and hybrid-relationship artifacts)
+// are emergent, not scripted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "propagation/policy.hpp"
+#include "topology/as_graph.hpp"
+#include "topology/relationship.hpp"
+
+namespace htor::prop {
+
+/// How the selected route was learned.
+enum class RouteSource : std::uint8_t { None, Origin, Customer, Peer, Provider, Sibling };
+
+class Engine {
+ public:
+  /// `rels` must classify every link of `graph` in family `af`; links with
+  /// Unknown relationship are not used.  ASes missing from `policies` get a
+  /// default NodePolicy.
+  Engine(const AsGraph& graph, const RelationshipMap& rels, IpVersion af,
+         const std::unordered_map<Asn, NodePolicy>& policies, const TeOverrides* te = nullptr);
+
+  /// Run the fixpoint for the prefix originated by `origin`.
+  /// Throws InvalidArgument when `origin` is not in the graph.
+  void run(Asn origin);
+
+  /// Origin of the last run (0 before any run).
+  Asn origin() const { return origin_asn_; }
+
+  bool has_route(Asn node) const;
+
+  /// The AS_PATH `node` would advertise: starts with `node`, ends with the
+  /// origin, includes prepending introduced along the way.  Empty when the
+  /// node has no route.  For the origin itself, returns {origin}.
+  std::vector<Asn> advertised_path(Asn node) const;
+
+  /// LocPrf the node assigned to its best route (0 at the origin).
+  std::uint32_t locpref(Asn node) const;
+
+  /// How the node learned its best route.
+  RouteSource source(Asn node) const;
+
+  /// Neighbor the best route was learned from (nullopt at origin/no route).
+  std::optional<Asn> best_neighbor(Asn node) const;
+
+  /// Number of selection activations consumed by the last run (stat).
+  std::size_t activations() const { return activations_; }
+
+  /// False when the last run hit the activation cap (a dispute-wheel style
+  /// oscillation); affected nodes had their routes invalidated, mirroring
+  /// the blackholes a real persistent oscillation causes.
+  bool converged() const { return converged_; }
+
+ private:
+  struct Edge {
+    std::uint32_t to;
+    Relationship rel;  // rel(this-node -> to): role `to` plays for this node
+  };
+
+  struct Best {
+    std::uint32_t parent = 0;     // dense index; valid when source != None
+    RouteSource source = RouteSource::None;
+    /// Export class: siblings are transparent, so a route learned from a
+    /// sibling keeps the class it had at the sibling (a provider-learned
+    /// route does not become freely exportable by crossing a sibling link).
+    RouteSource effective = RouteSource::None;
+    std::uint32_t locpref = 0;
+    std::uint32_t length = 0;     // decision length incl. prepends
+  };
+
+  /// How (whether) a route crosses an export filter.  LastResort marks
+  /// routes that only exist because of full (healer-style) relaxation; the
+  /// receiver deprefs them so they carry traffic only where nothing
+  /// policy-compliant exists.
+  enum class ExportClass : std::uint8_t { No, Normal, LastResort };
+
+  std::uint32_t index_of(Asn asn) const;
+  ExportClass exportable(const Best& route, Relationship rel_exporter_to_target,
+                         const NodePolicy& exporter, Asn exporter_asn) const;
+  bool path_contains(std::uint32_t start, std::uint32_t node) const;
+  static RouteSource source_of(Relationship rel_node_to_parent);
+
+  std::unordered_map<Asn, std::uint32_t> index_;
+  std::vector<Asn> asns_;
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<NodePolicy> policy_;
+  const TeOverrides* te_;
+
+  Asn origin_asn_ = 0;
+  std::uint32_t origin_idx_ = 0;
+  std::vector<Best> best_;
+  std::size_t activations_ = 0;
+  bool converged_ = true;
+
+  void repair_broken_chains();
+};
+
+}  // namespace htor::prop

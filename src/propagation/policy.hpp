@@ -1,0 +1,65 @@
+// Per-AS routing policy knobs for the propagation engine.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "netbase/asn.hpp"
+
+namespace htor::prop {
+
+/// The classic Gao-Rexford preference ordering is customer > peer > provider;
+/// per-AS values vary in practice, which is why the paper needs the
+/// communities "Rosetta stone" to interpret them.
+struct NodePolicy {
+  std::uint32_t lp_customer = 100;
+  std::uint32_t lp_peer = 90;
+  std::uint32_t lp_provider = 80;
+  std::uint32_t lp_sibling = 95;
+
+  /// Extra copies of the own ASN when exporting to a provider (backup-link
+  /// style traffic engineering).
+  std::uint8_t prepend_to_provider = 0;
+
+  /// IPv6 export relaxation: also export peer-/provider-learned routes to
+  /// peers.  This deliberately violates the valley-free export rule — the
+  /// behaviour the paper identifies behind IPv6 valley paths.
+  bool relaxed_export = false;
+
+  /// Full relaxation: additionally export peer-/provider-learned routes to
+  /// providers.  Used by the "healer" ASes that restore reachability across
+  /// the partitioned IPv6 core (the paper's reachability-required valleys).
+  bool relaxed_export_up = false;
+
+  /// Selectivity of `relaxed_export`: the fraction of origins actually
+  /// leaked (deterministic per (exporter, origin)).  Real relaxed peering is
+  /// a partial-transit arrangement, not a full-table leak.  Full relaxation
+  /// (relaxed_export_up) ignores this and always leaks.
+  double relax_origin_fraction = 1.0;
+};
+
+/// LocPrf traffic-engineering overrides: (listening AS, origin AS) -> value.
+/// When present, the AS assigns this LocPrf to routes of that origin instead
+/// of its relationship-based default (and, in the synthetic Internet, tags
+/// the route with its "set local-pref" community).
+class TeOverrides {
+ public:
+  void set(Asn node, Asn origin, std::uint32_t locpref) {
+    overrides_[key(node, origin)] = locpref;
+  }
+
+  const std::uint32_t* find(Asn node, Asn origin) const {
+    auto it = overrides_.find(key(node, origin));
+    return it == overrides_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t size() const { return overrides_.size(); }
+
+ private:
+  static std::uint64_t key(Asn node, Asn origin) {
+    return static_cast<std::uint64_t>(node) << 32 | origin;
+  }
+  std::unordered_map<std::uint64_t, std::uint32_t> overrides_;
+};
+
+}  // namespace htor::prop

@@ -1,0 +1,85 @@
+#include "rpsl/object.hpp"
+
+#include "util/strings.hpp"
+
+namespace htor::rpsl {
+
+namespace {
+const std::string kEmpty;
+}
+
+const std::string& RpslObject::class_name() const {
+  return attrs_.empty() ? kEmpty : attrs_.front().key;
+}
+
+std::optional<std::string_view> RpslObject::get(std::string_view key) const {
+  for (const auto& attr : attrs_) {
+    if (attr.key == key) return std::string_view(attr.value);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> RpslObject::all(std::string_view key) const {
+  std::vector<std::string_view> out;
+  for (const auto& attr : attrs_) {
+    if (attr.key == key) out.emplace_back(attr.value);
+  }
+  return out;
+}
+
+std::optional<Asn> RpslObject::autnum() const {
+  if (class_name() != "aut-num") return std::nullopt;
+  auto value = get("aut-num");
+  if (!value) return std::nullopt;
+  auto v = trim(*value);
+  if (v.size() < 3 || (v[0] != 'A' && v[0] != 'a') || (v[1] != 'S' && v[1] != 's')) {
+    return std::nullopt;
+  }
+  std::uint64_t asn = 0;
+  if (!parse_u64(v.substr(2), asn) || asn > 0xffffffffull) return std::nullopt;
+  return static_cast<Asn>(asn);
+}
+
+std::vector<RpslObject> parse_objects(std::string_view text) {
+  std::vector<RpslObject> objects;
+  std::vector<Attribute> current;
+
+  auto flush = [&]() {
+    if (!current.empty()) {
+      objects.emplace_back(std::move(current));
+      current.clear();
+    }
+  };
+
+  for (std::string_view raw : split(text, '\n')) {
+    // Strip a trailing CR from CRLF dumps.
+    if (!raw.empty() && raw.back() == '\r') raw.remove_suffix(1);
+
+    if (trim(raw).empty()) {
+      flush();
+      continue;
+    }
+    if (raw.front() == '%' || raw.front() == '#') continue;  // comment
+
+    // Continuation: leading space/tab or '+'.
+    if (raw.front() == ' ' || raw.front() == '\t' || raw.front() == '+') {
+      if (!current.empty()) {
+        std::string_view cont = raw.front() == '+' ? raw.substr(1) : raw;
+        current.back().value += '\n';
+        current.back().value += std::string(trim(cont));
+      }
+      continue;
+    }
+
+    const auto colon = raw.find(':');
+    if (colon == std::string_view::npos) continue;  // malformed; skip
+    Attribute attr;
+    attr.key = to_lower(trim(raw.substr(0, colon)));
+    attr.value = std::string(trim(raw.substr(colon + 1)));
+    current.push_back(std::move(attr));
+  }
+  flush();
+  return objects;
+}
+
+}  // namespace htor::rpsl

@@ -1,0 +1,51 @@
+// RPSL (RFC 2622) object parser, whois-dump flavour.
+//
+// The IRR databases serve objects as "attribute: value" lines; values may
+// continue on following lines that start with whitespace or '+'; '%' and '#'
+// start comments; a blank line ends an object.  Only the generic structure is
+// parsed here — interpretation of aut-num community documentation lives in
+// community_dict.hpp.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/asn.hpp"
+
+namespace htor::rpsl {
+
+struct Attribute {
+  std::string key;    // lowercased
+  std::string value;  // continuation lines joined with '\n'
+};
+
+class RpslObject {
+ public:
+  explicit RpslObject(std::vector<Attribute> attrs) : attrs_(std::move(attrs)) {}
+
+  /// Class of the object = key of the first attribute ("aut-num", "route6"…).
+  const std::string& class_name() const;
+
+  /// First value for `key` (lowercased key), nullopt when absent.
+  std::optional<std::string_view> get(std::string_view key) const;
+
+  /// All values for `key`, in order.
+  std::vector<std::string_view> all(std::string_view key) const;
+
+  const std::vector<Attribute>& attributes() const { return attrs_; }
+
+  /// For aut-num objects: the ASN from the class attribute ("AS64500").
+  /// nullopt when this is not a parsable aut-num.
+  std::optional<Asn> autnum() const;
+
+ private:
+  std::vector<Attribute> attrs_;
+};
+
+/// Parse a whole whois/IRR dump into objects.  Malformed lines (no colon at
+/// top level) are skipped; an empty input yields no objects.
+std::vector<RpslObject> parse_objects(std::string_view text);
+
+}  // namespace htor::rpsl

@@ -1,0 +1,80 @@
+#include "topology/as_graph.hpp"
+
+#include "util/error.hpp"
+
+namespace htor {
+
+void AsGraph::add_as(Asn asn) {
+  auto [it, inserted] = nodes_.try_emplace(asn);
+  (void)it;
+  if (inserted) as_list_.push_back(asn);
+}
+
+bool AsGraph::add_link(Asn a, Asn b, IpVersion af) {
+  if (a == b) throw InvalidArgument("AsGraph::add_link: self link at AS" + std::to_string(a));
+  add_as(a);
+  add_as(b);
+  const LinkKey key(a, b);
+  auto& mask = links_[key];
+  const std::uint8_t bit = af_bit(af);
+  if (mask & bit) return false;
+  const std::uint8_t before = mask;
+  mask |= bit;
+  if (af == IpVersion::V4) {
+    ++v4_links_;
+    nodes_[a].nbr_v4.push_back(b);
+    nodes_[b].nbr_v4.push_back(a);
+  } else {
+    ++v6_links_;
+    nodes_[a].nbr_v6.push_back(b);
+    nodes_[b].nbr_v6.push_back(a);
+  }
+  if (before != 0 && mask == 3) ++dual_links_;
+  return true;
+}
+
+bool AsGraph::has_link(Asn a, Asn b, IpVersion af) const {
+  auto it = links_.find(LinkKey(a, b));
+  return it != links_.end() && (it->second & af_bit(af)) != 0;
+}
+
+bool AsGraph::has_link(Asn a, Asn b) const { return links_.count(LinkKey(a, b)) != 0; }
+
+std::size_t AsGraph::link_count(IpVersion af) const {
+  return af == IpVersion::V4 ? v4_links_ : v6_links_;
+}
+
+std::size_t AsGraph::dual_stack_link_count() const { return dual_links_; }
+
+const std::vector<Asn>& AsGraph::neighbors(Asn asn, IpVersion af) const {
+  static const std::vector<Asn> kEmpty;
+  auto it = nodes_.find(asn);
+  if (it == nodes_.end()) return kEmpty;
+  return af == IpVersion::V4 ? it->second.nbr_v4 : it->second.nbr_v6;
+}
+
+void AsGraph::for_each_link(IpVersion af,
+                            const std::function<void(const LinkKey&)>& fn) const {
+  const std::uint8_t bit = af_bit(af);
+  for (const auto& [key, mask] : links_) {
+    if (mask & bit) fn(key);
+  }
+}
+
+std::vector<LinkKey> AsGraph::links(IpVersion af) const {
+  std::vector<LinkKey> out;
+  out.reserve(link_count(af));
+  for_each_link(af, [&out](const LinkKey& key) { out.push_back(key); });
+  return out;
+}
+
+std::vector<LinkKey> AsGraph::dual_stack_links() const {
+  std::vector<LinkKey> out;
+  out.reserve(dual_links_);
+  for (const auto& [key, mask] : links_) {
+    if (mask == 3) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace htor

@@ -1,0 +1,72 @@
+// AS-level graph with per-address-family link presence.
+//
+// The same AS pair can be connected in IPv4 only, IPv6 only, or both — the
+// distinction the whole paper is about — so links carry an address-family
+// bitmask rather than the graph being duplicated.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netbase/asn.hpp"
+#include "netbase/ip.hpp"
+#include "topology/relationship.hpp"
+
+namespace htor {
+
+class AsGraph {
+ public:
+  /// Idempotently add an AS.
+  void add_as(Asn asn);
+
+  /// Add (or extend) a link for one family.  Returns true when the link was
+  /// not previously present in that family.  Both ASes are added as needed.
+  bool add_link(Asn a, Asn b, IpVersion af);
+
+  bool has_as(Asn asn) const { return nodes_.count(asn) != 0; }
+  bool has_link(Asn a, Asn b, IpVersion af) const;
+  /// Present in either family.
+  bool has_link(Asn a, Asn b) const;
+
+  std::size_t as_count() const { return nodes_.size(); }
+  std::size_t link_count(IpVersion af) const;
+  /// Links present in both families.
+  std::size_t dual_stack_link_count() const;
+
+  /// Neighbors of `asn` in family `af` (insertion order, no duplicates).
+  const std::vector<Asn>& neighbors(Asn asn, IpVersion af) const;
+
+  std::size_t degree(Asn asn, IpVersion af) const { return neighbors(asn, af).size(); }
+
+  /// All ASes (insertion order).
+  const std::vector<Asn>& ases() const { return as_list_; }
+
+  /// Visit each link of family `af` once.
+  void for_each_link(IpVersion af, const std::function<void(const LinkKey&)>& fn) const;
+
+  /// All links of a family, as canonical keys.
+  std::vector<LinkKey> links(IpVersion af) const;
+
+  /// All links present in both families.
+  std::vector<LinkKey> dual_stack_links() const;
+
+ private:
+  struct Node {
+    std::vector<Asn> nbr_v4;
+    std::vector<Asn> nbr_v6;
+  };
+
+  static std::uint8_t af_bit(IpVersion af) { return af == IpVersion::V4 ? 1 : 2; }
+
+  std::unordered_map<Asn, Node> nodes_;
+  std::vector<Asn> as_list_;
+  std::unordered_map<LinkKey, std::uint8_t, LinkKeyHash> links_;  // af bitmask
+  std::size_t v4_links_ = 0;
+  std::size_t v6_links_ = 0;
+  std::size_t dual_links_ = 0;
+};
+
+}  // namespace htor

@@ -1,0 +1,83 @@
+#include "topology/customer_tree.hpp"
+
+#include <deque>
+
+namespace htor {
+
+CustomerTreeAnalysis::CustomerTreeAnalysis(const RelationshipMap& rels) {
+  auto intern = [this](Asn asn) -> std::uint32_t {
+    auto [it, inserted] = index_of_.try_emplace(asn, static_cast<std::uint32_t>(asns_.size()));
+    if (inserted) {
+      asns_.push_back(asn);
+      down_.emplace_back();
+      adj_.emplace_back();
+    }
+    return it->second;
+  };
+
+  rels.for_each([&](const LinkKey& key, Relationship rel) {
+    std::uint32_t provider;
+    std::uint32_t customer;
+    if (rel == Relationship::P2C) {
+      provider = intern(key.first);
+      customer = intern(key.second);
+    } else if (rel == Relationship::C2P) {
+      provider = intern(key.second);
+      customer = intern(key.first);
+    } else {
+      return;  // only transit links form customer trees
+    }
+    down_[provider].push_back(customer);
+    adj_[provider].push_back({customer, EdgeKind::Down});
+    adj_[customer].push_back({provider, EdgeKind::Up});
+    ++edges_;
+  });
+}
+
+std::vector<Asn> CustomerTreeAnalysis::tree_of(Asn root) const {
+  std::vector<Asn> out;
+  auto it = index_of_.find(root);
+  if (it == index_of_.end()) return {root};
+  std::vector<bool> seen(asns_.size(), false);
+  std::deque<std::uint32_t> queue{it->second};
+  seen[it->second] = true;
+  while (!queue.empty()) {
+    const std::uint32_t node = queue.front();
+    queue.pop_front();
+    out.push_back(asns_[node]);
+    for (std::uint32_t c : down_[node]) {
+      if (!seen[c]) {
+        seen[c] = true;
+        queue.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t CustomerTreeAnalysis::cone_size(Asn root) const {
+  return tree_of(root).size() - 1;
+}
+
+CustomerTreeAnalysis::Metrics CustomerTreeAnalysis::union_metrics() const {
+  Metrics m;
+  m.edges = edges_;
+  std::uint64_t total = 0;
+  for (std::uint32_t src = 0; src < asns_.size(); ++src) {
+    if (adj_[src].empty()) continue;
+    ++m.nodes;
+    const auto dist = valley_free_distances(adj_, src);
+    for (std::uint32_t dst = 0; dst < asns_.size(); ++dst) {
+      if (dst == src || dist[dst] == kUnreachable) continue;
+      total += static_cast<std::uint64_t>(dist[dst]);
+      ++m.reachable_pairs;
+      if (dist[dst] > m.diameter) m.diameter = dist[dst];
+    }
+  }
+  if (m.reachable_pairs > 0) {
+    m.avg_path_length = static_cast<double>(total) / static_cast<double>(m.reachable_pairs);
+  }
+  return m;
+}
+
+}  // namespace htor

@@ -1,0 +1,50 @@
+// Customer trees and the union-of-trees metric used in the paper's Figure 2.
+//
+// The customer tree of a root AS contains every AS the root can reach by
+// following provider-to-customer links only (Dimitropoulos et al. 2007).
+// The union of all customer trees is the p2c (transit) subgraph of the
+// relationship map; the paper assesses misinference by the average shortest
+// valley-free path length and diameter of that union.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/asn.hpp"
+#include "topology/reachability.hpp"
+#include "topology/relationship.hpp"
+
+namespace htor {
+
+class CustomerTreeAnalysis {
+ public:
+  /// Builds the p2c subgraph of `rels` once; the map must outlive nothing
+  /// (everything is copied in).
+  explicit CustomerTreeAnalysis(const RelationshipMap& rels);
+
+  /// ASes in the customer tree of `root`, root included, BFS order.
+  std::vector<Asn> tree_of(Asn root) const;
+
+  /// Number of ASes in the tree excluding the root ("customer cone size").
+  std::size_t cone_size(Asn root) const;
+
+  struct Metrics {
+    double avg_path_length = 0.0;   ///< mean over reachable ordered pairs
+    std::int32_t diameter = 0;      ///< max shortest valley-free path
+    std::uint64_t reachable_pairs = 0;
+    std::size_t nodes = 0;          ///< nodes incident to >= 1 transit link
+    std::size_t edges = 0;          ///< p2c links in the union
+  };
+
+  /// Metrics of the full union (all roots == the whole p2c subgraph).
+  Metrics union_metrics() const;
+
+ private:
+  std::unordered_map<Asn, std::uint32_t> index_of_;
+  std::vector<Asn> asns_;
+  std::vector<std::vector<std::uint32_t>> down_;  // provider -> customers
+  AdjacencyList adj_;                             // Up/Down product-graph edges
+  std::size_t edges_ = 0;
+};
+
+}  // namespace htor

@@ -1,0 +1,51 @@
+#include "topology/path_store.hpp"
+
+#include <unordered_set>
+
+namespace htor {
+
+void PathStore::add(const std::vector<Asn>& path) {
+  if (path.size() < 2) return;
+  ++paths_[path];
+  ++total_;
+  index_built_ = false;
+}
+
+void PathStore::for_each(
+    const std::function<void(const std::vector<Asn>&, std::uint64_t)>& fn) const {
+  for (const auto& [path, count] : paths_) fn(path, count);
+}
+
+std::vector<LinkKey> PathStore::links() const {
+  build_link_index();
+  std::vector<LinkKey> out;
+  out.reserve(link_paths_.size());
+  for (const auto& [key, count] : link_paths_) {
+    (void)count;
+    out.push_back(key);
+  }
+  return out;
+}
+
+std::uint64_t PathStore::paths_containing(Asn a, Asn b) const {
+  build_link_index();
+  auto it = link_paths_.find(LinkKey(a, b));
+  return it == link_paths_.end() ? 0 : it->second;
+}
+
+void PathStore::build_link_index() const {
+  if (index_built_) return;
+  link_paths_.clear();
+  for (const auto& [path, count] : paths_) {
+    (void)count;
+    std::unordered_set<LinkKey, LinkKeyHash> seen;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (path[i] == path[i + 1]) continue;  // prepending
+      const LinkKey key(path[i], path[i + 1]);
+      if (seen.insert(key).second) ++link_paths_[key];
+    }
+  }
+  index_built_ = true;
+}
+
+}  // namespace htor

@@ -1,0 +1,119 @@
+#include "topology/reachability.hpp"
+
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace htor {
+
+EdgeKind edge_kind(Relationship rel_a_to_b) {
+  switch (rel_a_to_b) {
+    case Relationship::C2P: return EdgeKind::Up;    // b is a's provider: climbing
+    case Relationship::P2C: return EdgeKind::Down;  // b is a's customer: descending
+    case Relationship::P2P: return EdgeKind::Peer;
+    case Relationship::S2S: return EdgeKind::Sib;
+    case Relationship::Unknown: break;
+  }
+  throw InvalidArgument("edge_kind: Unknown relationship");
+}
+
+std::vector<std::int32_t> valley_free_distances(const AdjacencyList& adj, std::uint32_t src) {
+  const std::size_t n = adj.size();
+  if (src >= n) throw InvalidArgument("valley_free_distances: src out of range");
+
+  // dist[2*node + phase]
+  std::vector<std::int32_t> dist(2 * n, kUnreachable);
+  std::deque<std::uint32_t> queue;
+  dist[2 * src + 0] = 0;
+  queue.push_back(2 * src + 0);
+
+  while (!queue.empty()) {
+    const std::uint32_t state = queue.front();
+    queue.pop_front();
+    const std::uint32_t node = state / 2;
+    const std::uint32_t phase = state % 2;
+    const std::int32_t d = dist[state];
+
+    for (const DirectedEdge& e : adj[node]) {
+      std::uint32_t next_phase;
+      switch (e.kind) {
+        case EdgeKind::Up:
+          if (phase != 0) continue;  // cannot climb after the summit
+          next_phase = 0;
+          break;
+        case EdgeKind::Peer:
+          if (phase != 0) continue;  // at most one peering link
+          next_phase = 1;
+          break;
+        case EdgeKind::Down:
+          next_phase = 1;
+          break;
+        case EdgeKind::Sib:
+          next_phase = phase;
+          break;
+        default:
+          continue;
+      }
+      const std::uint32_t next = 2 * e.to + next_phase;
+      if (dist[next] != kUnreachable) continue;
+      dist[next] = d + 1;
+      queue.push_back(next);
+    }
+  }
+
+  std::vector<std::int32_t> out(n, kUnreachable);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t d0 = dist[2 * i + 0];
+    const std::int32_t d1 = dist[2 * i + 1];
+    if (d0 == kUnreachable) {
+      out[i] = d1;
+    } else if (d1 == kUnreachable) {
+      out[i] = d0;
+    } else {
+      out[i] = d0 < d1 ? d0 : d1;
+    }
+  }
+  return out;
+}
+
+ValleyFreeRouting::ValleyFreeRouting(const AsGraph& graph, const RelationshipMap& rels,
+                                     IpVersion af) {
+  asns_ = graph.ases();
+  index_of_.reserve(asns_.size());
+  for (std::size_t i = 0; i < asns_.size(); ++i) {
+    index_of_.emplace(asns_[i], static_cast<std::uint32_t>(i));
+  }
+  adj_.resize(asns_.size());
+  graph.for_each_link(af, [&](const LinkKey& key) {
+    const Relationship rel = rels.get(key.first, key.second);
+    if (rel == Relationship::Unknown) return;
+    const std::uint32_t a = index_of_.at(key.first);
+    const std::uint32_t b = index_of_.at(key.second);
+    adj_[a].push_back({b, edge_kind(rel)});
+    adj_[b].push_back({a, edge_kind(reverse(rel))});
+  });
+}
+
+std::uint32_t ValleyFreeRouting::index_of(Asn asn) const {
+  auto it = index_of_.find(asn);
+  if (it == index_of_.end()) {
+    throw InvalidArgument("ValleyFreeRouting: unknown AS" + std::to_string(asn));
+  }
+  return it->second;
+}
+
+std::int32_t ValleyFreeRouting::distance(Asn src, Asn dst) const {
+  auto s = index_of_.find(src);
+  auto d = index_of_.find(dst);
+  if (s == index_of_.end() || d == index_of_.end()) return kUnreachable;
+  const auto dist = valley_free_distances(adj_, s->second);
+  return dist[d->second];
+}
+
+std::vector<std::int32_t> ValleyFreeRouting::distances_from(Asn src) const {
+  auto s = index_of_.find(src);
+  if (s == index_of_.end()) return {};
+  return valley_free_distances(adj_, s->second);
+}
+
+}  // namespace htor

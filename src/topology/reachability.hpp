@@ -1,0 +1,75 @@
+// Policy-constrained (valley-free) shortest paths and reachability.
+//
+// The constrained BFS runs over a two-state product graph: state 0 while the
+// path is still climbing (customer-to-provider links allowed), state 1 once
+// it has crossed a peering link or started descending (provider-to-customer
+// links only).  This yields shortest *valley-free* hop distances, which is
+// what the paper's Figure 2 metric and the valley-necessity test need.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/as_graph.hpp"
+#include "topology/relationship.hpp"
+
+namespace htor {
+
+/// Directed edge classification as seen from the tail node.
+enum class EdgeKind : std::uint8_t {
+  Up,    ///< toward a provider (c2p)
+  Down,  ///< toward a customer (p2c)
+  Peer,  ///< peering
+  Sib,   ///< sibling (phase-transparent)
+};
+
+/// Classify rel(a, b) as the kind of the directed edge a -> b.
+/// Precondition: rel != Unknown.
+EdgeKind edge_kind(Relationship rel_a_to_b);
+
+struct DirectedEdge {
+  std::uint32_t to = 0;
+  EdgeKind kind = EdgeKind::Down;
+};
+
+using AdjacencyList = std::vector<std::vector<DirectedEdge>>;
+
+inline constexpr std::int32_t kUnreachable = -1;
+
+/// Shortest valley-free hop distance from `src` to every node over `adj`;
+/// kUnreachable where no valley-free path exists.  dist[src] == 0.
+std::vector<std::int32_t> valley_free_distances(const AdjacencyList& adj, std::uint32_t src);
+
+/// Valley-free routing oracle over one address family of an AS graph.
+/// Links whose relationship is Unknown are excluded (they cannot be
+/// classified, hence cannot be policy-routed).
+class ValleyFreeRouting {
+ public:
+  ValleyFreeRouting(const AsGraph& graph, const RelationshipMap& rels, IpVersion af);
+
+  /// Dense node count.
+  std::size_t node_count() const { return index_of_.size(); }
+
+  bool has_as(Asn asn) const { return index_of_.count(asn) != 0; }
+
+  /// Shortest valley-free distance; kUnreachable when none (or an endpoint
+  /// is absent).
+  std::int32_t distance(Asn src, Asn dst) const;
+
+  bool reachable(Asn src, Asn dst) const { return distance(src, dst) >= 0; }
+
+  /// All distances from `src`, keyed by dense index; empty when src absent.
+  std::vector<std::int32_t> distances_from(Asn src) const;
+
+  /// Dense index of an AS (must exist).
+  std::uint32_t index_of(Asn asn) const;
+  Asn asn_of(std::uint32_t index) const { return asns_[index]; }
+
+ private:
+  std::unordered_map<Asn, std::uint32_t> index_of_;
+  std::vector<Asn> asns_;
+  AdjacencyList adj_;
+};
+
+}  // namespace htor

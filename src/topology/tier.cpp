@@ -1,0 +1,49 @@
+#include "topology/tier.hpp"
+
+#include <unordered_set>
+
+#include "topology/customer_tree.hpp"
+
+namespace htor {
+
+const char* to_string(Tier tier) {
+  switch (tier) {
+    case Tier::Tier1: return "tier-1";
+    case Tier::Tier2: return "tier-2";
+    case Tier::Tier3: return "tier-3";
+    case Tier::Stub: return "stub";
+  }
+  return "?";
+}
+
+std::unordered_map<Asn, Tier> classify_tiers(const RelationshipMap& rels,
+                                             const TierParams& params) {
+  std::unordered_set<Asn> ases;
+  rels.for_each([&](const LinkKey& key, Relationship) {
+    ases.insert(key.first);
+    ases.insert(key.second);
+  });
+
+  CustomerTreeAnalysis trees(rels);
+  std::unordered_map<Asn, Tier> out;
+  out.reserve(ases.size());
+  for (Asn asn : ases) {
+    const bool has_provider = !rels.providers(asn).empty();
+    const bool has_customer = !rels.customers(asn).empty();
+    const std::size_t cone = has_customer ? trees.cone_size(asn) : 0;
+    Tier tier;
+    if (!has_provider && cone >= params.tier1_min_cone) {
+      tier = Tier::Tier1;
+    } else if (!has_customer) {
+      tier = Tier::Stub;
+    } else if (cone >= params.tier2_min_cone) {
+      tier = Tier::Tier2;
+    } else {
+      tier = Tier::Tier3;
+    }
+    out.emplace(asn, tier);
+  }
+  return out;
+}
+
+}  // namespace htor

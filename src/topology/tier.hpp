@@ -1,0 +1,36 @@
+// Tier classification of ASes from a relationship map.
+//
+// The paper observes that hybrid links concentrate "among tier-1 or tier-2
+// ASes with large numbers of connections"; this module provides the tiering
+// used to verify that observation on the synthetic topology.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/asn.hpp"
+#include "topology/relationship.hpp"
+
+namespace htor {
+
+enum class Tier : std::uint8_t { Tier1, Tier2, Tier3, Stub };
+
+const char* to_string(Tier tier);
+
+struct TierParams {
+  /// Minimum customer-cone size of a provider-free AS to count as tier-1.
+  std::size_t tier1_min_cone = 50;
+  /// Minimum customer-cone size for tier-2.
+  std::size_t tier2_min_cone = 5;
+};
+
+/// Classify every AS that appears in `rels`:
+///  - Tier1: no providers and a large customer cone,
+///  - Stub:  no customers,
+///  - Tier2: cone >= tier2_min_cone,
+///  - Tier3: everything else (small transit).
+std::unordered_map<Asn, Tier> classify_tiers(const RelationshipMap& rels,
+                                             const TierParams& params = {});
+
+}  // namespace htor

@@ -1,0 +1,104 @@
+#include "util/bytes.hpp"
+
+namespace htor {
+
+void ByteReader::require(std::size_t n) const {
+  if (remaining() < n) {
+    throw DecodeError("buffer underrun: need " + std::to_string(n) + " bytes, have " +
+                      std::to_string(remaining()));
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  require(2);
+  std::uint16_t v = static_cast<std::uint16_t>(static_cast<std::uint16_t>(data_[pos_]) << 8 |
+                                               static_cast<std::uint16_t>(data_[pos_ + 1]));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  require(4);
+  std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) << 24 |
+                    static_cast<std::uint32_t>(data_[pos_ + 1]) << 16 |
+                    static_cast<std::uint32_t>(data_[pos_ + 2]) << 8 |
+                    static_cast<std::uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  std::uint64_t hi = u32();
+  std::uint64_t lo = u32();
+  return hi << 32 | lo;
+}
+
+std::span<const std::uint8_t> ByteReader::bytes(std::size_t n) {
+  require(n);
+  auto view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+std::vector<std::uint8_t> ByteReader::bytes_copy(std::size_t n) {
+  auto view = bytes(n);
+  return {view.begin(), view.end()};
+}
+
+std::string ByteReader::text(std::size_t n) {
+  auto view = bytes(n);
+  return {reinterpret_cast<const char*>(view.data()), view.size()};
+}
+
+void ByteReader::skip(std::size_t n) {
+  require(n);
+  pos_ += n;
+}
+
+ByteReader ByteReader::sub(std::size_t n) { return ByteReader(bytes(n)); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v >> 24));
+  out_.push_back(static_cast<std::uint8_t>(v >> 16));
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+  out_.insert(out_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::text(const std::string& s) {
+  out_.insert(out_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  if (offset + 2 > out_.size()) throw InvalidArgument("patch_u16 out of range");
+  out_[offset] = static_cast<std::uint8_t>(v >> 8);
+  out_[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+void ByteWriter::patch_u32(std::size_t offset, std::uint32_t v) {
+  if (offset + 4 > out_.size()) throw InvalidArgument("patch_u32 out of range");
+  out_[offset] = static_cast<std::uint8_t>(v >> 24);
+  out_[offset + 1] = static_cast<std::uint8_t>(v >> 16);
+  out_[offset + 2] = static_cast<std::uint8_t>(v >> 8);
+  out_[offset + 3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace htor

@@ -1,0 +1,37 @@
+// Common exception hierarchy for the hybridtor libraries.
+//
+// All library errors derive from htor::Error so callers can install a single
+// catch site; the subtypes distinguish wire-decoding problems (malformed MRT /
+// BGP bytes) from text-parsing problems (RPSL, addresses) and API misuse.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace htor {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed binary input (BGP messages, path attributes, MRT records).
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error("decode error: " + what) {}
+};
+
+/// Malformed textual input (IP addresses, prefixes, RPSL objects).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// A precondition on a public API was violated by the caller.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error("invalid argument: " + what) {}
+};
+
+}  // namespace htor

@@ -1,0 +1,86 @@
+// Deterministic random source for the synthetic-Internet generator.
+//
+// All randomness in the project flows through this wrapper so that every
+// experiment is reproducible from a single seed (DESIGN.md §6).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace htor {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::uint32_t uniform(std::uint32_t lo, std::uint32_t hi) {
+    if (lo > hi) throw InvalidArgument("Rng::uniform: lo > hi");
+    return std::uniform_int_distribution<std::uint32_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n).  Requires n > 0.
+  std::size_t index(std::size_t n) {
+    if (n == 0) throw InvalidArgument("Rng::index: empty range");
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double real() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return real() < p;
+  }
+
+  /// Uniformly chosen element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    return items[index(items.size())];
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[index(items.size())];
+  }
+
+  /// Index drawn proportionally to non-negative weights (at least one > 0).
+  std::size_t weighted(std::span<const double> weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) throw InvalidArgument("Rng::weighted: no positive weight");
+    double x = real() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  /// Geometric-ish small count: 1 + number of successes of repeated coin
+  /// flips with probability p, capped at `cap`.  Used for provider counts.
+  std::uint32_t small_count(double p, std::uint32_t cap) {
+    std::uint32_t n = 1;
+    while (n < cap && chance(p)) ++n;
+    return n;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace htor

@@ -1,0 +1,37 @@
+// Small string helpers shared by the text parsers (RPSL, addresses) and the
+// report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace htor {
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Lowercase an ASCII string.
+std::string to_lower(std::string_view s);
+
+/// Split on a single character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Split on runs of ASCII whitespace; no empty fields.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+/// True if `s` contains `needle` case-insensitively.
+bool contains_ci(std::string_view s, std::string_view needle);
+
+/// Parse a non-negative decimal integer; returns false on any non-digit or
+/// overflow past 2^64-1.
+bool parse_u64(std::string_view s, std::uint64_t& out);
+
+/// Format a double with `digits` fraction digits.
+std::string fmt_double(double v, int digits);
+
+/// Percentage helper: fmt_double(100*num/den, digits) with a "%" suffix,
+/// "n/a" when den == 0.
+std::string fmt_pct(std::uint64_t num, std::uint64_t den, int digits = 1);
+
+}  // namespace htor

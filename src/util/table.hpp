@@ -1,0 +1,31 @@
+// Console table printer used by the bench binaries to emit the paper's
+// tables/figure series as aligned rows (and optionally CSV).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace htor {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have as many cells as there are headers.
+  void row(std::vector<std::string> cells);
+
+  /// Render with aligned columns to `os`.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no alignment padding).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace htor

@@ -1,0 +1,81 @@
+// Unit tests for the AS_PATH model: segments, prepending, flattening, loop
+// detection, and the decision-process length.
+#include <gtest/gtest.h>
+
+#include "bgp/as_path.hpp"
+
+namespace htor::bgp {
+namespace {
+
+TEST(AsPath, EmptyPath) {
+  const AsPath p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.first(), 0u);
+  EXPECT_EQ(p.origin(), 0u);
+  EXPECT_EQ(p.decision_length(), 0u);
+  EXPECT_FALSE(p.has_loop());
+  EXPECT_EQ(p.to_string(), "");
+}
+
+TEST(AsPath, SequenceBasics) {
+  const auto p = AsPath::sequence({64500, 3356, 1299});
+  EXPECT_EQ(p.first(), 64500u);
+  EXPECT_EQ(p.origin(), 1299u);
+  EXPECT_EQ(p.decision_length(), 3u);
+  EXPECT_EQ(p.flatten(), (std::vector<Asn>{64500, 3356, 1299}));
+  EXPECT_TRUE(p.contains(3356));
+  EXPECT_FALSE(p.contains(1));
+  EXPECT_EQ(p.to_string(), "64500 3356 1299");
+}
+
+TEST(AsPath, PrependAddsAdjacentCopies) {
+  auto p = AsPath::sequence({3356, 1299});
+  p.prepend(64500, 3);
+  EXPECT_EQ(p.flatten(), (std::vector<Asn>{64500, 64500, 64500, 3356, 1299}));
+  EXPECT_EQ(p.decision_length(), 5u);
+  EXPECT_FALSE(p.has_loop());  // adjacent repeats are prepending, not loops
+  EXPECT_EQ(p.flatten_deduped(), (std::vector<Asn>{64500, 3356, 1299}));
+}
+
+TEST(AsPath, PrependOnEmptyPath) {
+  AsPath p;
+  p.prepend(65001);
+  EXPECT_EQ(p.flatten(), (std::vector<Asn>{65001}));
+  p.prepend(65001, 0);  // no-op
+  EXPECT_EQ(p.decision_length(), 1u);
+}
+
+TEST(AsPath, LoopDetection) {
+  EXPECT_TRUE(AsPath::sequence({1, 2, 1}).has_loop());
+  EXPECT_FALSE(AsPath::sequence({1, 1, 2}).has_loop());
+  EXPECT_TRUE(AsPath::sequence({1, 2, 2, 3, 1}).has_loop());
+}
+
+TEST(AsPath, SetSegmentCountsOnce) {
+  AsPath p;
+  p.add_segment({AsSegmentType::Sequence, {64500, 3356}});
+  p.add_segment({AsSegmentType::Set, {100, 200, 300}});
+  EXPECT_EQ(p.decision_length(), 3u);  // 2 + 1 for the whole set
+  EXPECT_EQ(p.flatten().size(), 5u);
+  EXPECT_EQ(p.origin(), 300u);
+  EXPECT_EQ(p.to_string(), "64500 3356 {100,200,300}");
+}
+
+TEST(AsPath, PrependBeforeSetCreatesSequence) {
+  AsPath p;
+  p.add_segment({AsSegmentType::Set, {7, 8}});
+  p.prepend(5);
+  ASSERT_EQ(p.segments().size(), 2u);
+  EXPECT_EQ(p.segments()[0].type, AsSegmentType::Sequence);
+  EXPECT_EQ(p.first(), 5u);
+}
+
+TEST(AsPath, EqualityIsStructural) {
+  const auto a = AsPath::sequence({1, 2});
+  auto b = AsPath::sequence({2});
+  b.prepend(1);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace htor::bgp

@@ -1,0 +1,72 @@
+// Unit tests for classic and large BGP communities.
+#include <gtest/gtest.h>
+
+#include "bgp/community.hpp"
+#include "util/error.hpp"
+
+namespace htor::bgp {
+namespace {
+
+TEST(Community, Accessors) {
+  const Community c(64500, 120);
+  EXPECT_EQ(c.asn(), 64500);
+  EXPECT_EQ(c.value(), 120);
+  EXPECT_EQ(c.raw(), 64500u << 16 | 120u);
+  EXPECT_EQ(Community(c.raw()), c);
+}
+
+TEST(Community, ParseFormatRoundTrip) {
+  const auto c = Community::parse("3356:100");
+  EXPECT_EQ(c.asn(), 3356);
+  EXPECT_EQ(c.value(), 100);
+  EXPECT_EQ(c.to_string(), "3356:100");
+  EXPECT_EQ(Community::parse(c.to_string()), c);
+}
+
+TEST(Community, ParseErrors) {
+  Community out;
+  EXPECT_FALSE(Community::try_parse("3356", out));
+  EXPECT_FALSE(Community::try_parse("65536:1", out));
+  EXPECT_FALSE(Community::try_parse("1:65536", out));
+  EXPECT_FALSE(Community::try_parse("a:1", out));
+  EXPECT_FALSE(Community::try_parse(":", out));
+  EXPECT_THROW(Community::parse("x"), ParseError);
+}
+
+TEST(Community, WellKnownValues) {
+  EXPECT_EQ(kNoExport.raw(), 0xffffff01u);
+  EXPECT_EQ(kNoAdvertise.raw(), 0xffffff02u);
+  EXPECT_EQ(kNoExportSubconfed.raw(), 0xffffff03u);
+}
+
+TEST(Community, Ordering) {
+  EXPECT_LT(Community(1, 1), Community(1, 2));
+  EXPECT_LT(Community(1, 65535), Community(2, 0));
+}
+
+TEST(LargeCommunity, ParseFormatRoundTrip) {
+  const auto lc = LargeCommunity::parse("4200000000:1:2");
+  EXPECT_EQ(lc.global, 4200000000u);
+  EXPECT_EQ(lc.local1, 1u);
+  EXPECT_EQ(lc.local2, 2u);
+  EXPECT_EQ(LargeCommunity::parse(lc.to_string()), lc);
+}
+
+TEST(LargeCommunity, ParseErrors) {
+  LargeCommunity out;
+  EXPECT_FALSE(LargeCommunity::try_parse("1:2", out));
+  EXPECT_FALSE(LargeCommunity::try_parse("1:2:3:4", out));
+  EXPECT_FALSE(LargeCommunity::try_parse("4294967296:0:0", out));
+  EXPECT_THROW(LargeCommunity::parse("bad"), ParseError);
+}
+
+TEST(Normalized, SortsAndDeduplicates) {
+  const auto out = normalized({Community(2, 2), Community(1, 1), Community(2, 2)});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], Community(1, 1));
+  EXPECT_EQ(out[1], Community(2, 2));
+  EXPECT_TRUE(normalized({}).empty());
+}
+
+}  // namespace
+}  // namespace htor::bgp

@@ -1,0 +1,139 @@
+// Unit tests for the BGP message codec.
+#include <gtest/gtest.h>
+
+#include "bgp/message.hpp"
+
+namespace htor::bgp {
+namespace {
+
+Message round_trip(const Message& in) {
+  const auto bytes = encode_message(in);
+  ByteReader r(bytes);
+  auto out = decode_message(r);
+  EXPECT_TRUE(r.exhausted());
+  return out;
+}
+
+TEST(BgpMessage, KeepaliveRoundTrip) {
+  const auto out = round_trip(KeepaliveMessage{});
+  EXPECT_TRUE(std::holds_alternative<KeepaliveMessage>(out));
+  EXPECT_EQ(encode_message(KeepaliveMessage{}).size(), kMessageHeaderSize);
+}
+
+TEST(BgpMessage, OpenRoundTrip) {
+  OpenMessage open;
+  open.my_as = 64500;
+  open.hold_time = 90;
+  open.bgp_id = 0x0a000001;
+  open.optional_params = {1, 2, 3};
+  const auto out = round_trip(open);
+  ASSERT_TRUE(std::holds_alternative<OpenMessage>(out));
+  EXPECT_EQ(std::get<OpenMessage>(out), open);
+}
+
+TEST(BgpMessage, OpenWith4ByteAsnUsesAsTrans) {
+  OpenMessage open;
+  open.my_as = 4200000000u;
+  const auto bytes = encode_message(open);
+  ByteReader r(bytes);
+  const auto out = decode_message(r);
+  EXPECT_EQ(std::get<OpenMessage>(out).my_as, kAsTrans);
+}
+
+TEST(BgpMessage, UpdateRoundTrip) {
+  UpdateMessage update;
+  update.withdrawn = {Prefix::parse("192.0.2.0/24")};
+  update.attrs.origin = Origin::Igp;
+  update.attrs.as_path = AsPath::sequence({64500, 3356});
+  update.attrs.next_hop = IpAddress::parse("10.0.0.1");
+  update.nlri = {Prefix::parse("198.51.100.0/24"), Prefix::parse("203.0.113.0/24")};
+  const auto out = round_trip(update);
+  ASSERT_TRUE(std::holds_alternative<UpdateMessage>(out));
+  EXPECT_EQ(std::get<UpdateMessage>(out), update);
+}
+
+TEST(BgpMessage, NotificationRoundTrip) {
+  NotificationMessage notif;
+  notif.code = 6;
+  notif.subcode = 2;
+  notif.data = {0xde, 0xad};
+  const auto out = round_trip(notif);
+  ASSERT_TRUE(std::holds_alternative<NotificationMessage>(out));
+  EXPECT_EQ(std::get<NotificationMessage>(out), notif);
+}
+
+TEST(BgpMessage, Ipv6UpdateHelper) {
+  PathAttributes base;
+  base.origin = Origin::Igp;
+  base.as_path = AsPath::sequence({64500});
+  base.next_hop = IpAddress::parse("10.0.0.1");  // must be dropped for v6
+  const auto update = make_ipv6_update(base, IpAddress::parse("2001:db8::1"),
+                                       {Prefix::parse("2001:db8:100::/48")});
+  EXPECT_FALSE(update.attrs.next_hop.has_value());
+  ASSERT_TRUE(update.attrs.mp_reach.has_value());
+  EXPECT_EQ(update.attrs.mp_reach->nlri.size(), 1u);
+  EXPECT_EQ(std::get<UpdateMessage>(round_trip(update)), update);
+
+  EXPECT_THROW(make_ipv6_update(base, IpAddress::parse("10.0.0.1"), {}), InvalidArgument);
+  EXPECT_THROW(
+      make_ipv6_update(base, IpAddress::parse("2001:db8::1"), {Prefix::parse("10.0.0.0/8")}),
+      InvalidArgument);
+}
+
+TEST(BgpMessage, TopLevelNlriMustBeV4) {
+  UpdateMessage update;
+  update.nlri = {Prefix::parse("2001:db8::/32")};
+  EXPECT_THROW(encode_message(update), InvalidArgument);
+  UpdateMessage withdraw;
+  withdraw.withdrawn = {Prefix::parse("2001:db8::/32")};
+  EXPECT_THROW(encode_message(withdraw), InvalidArgument);
+}
+
+TEST(BgpMessage, BadMarkerRejected) {
+  auto bytes = encode_message(KeepaliveMessage{});
+  bytes[3] = 0x00;
+  ByteReader r(bytes);
+  EXPECT_THROW(decode_message(r), DecodeError);
+}
+
+TEST(BgpMessage, BadLengthRejected) {
+  auto bytes = encode_message(KeepaliveMessage{});
+  bytes[16] = 0;
+  bytes[17] = 5;  // shorter than the header itself
+  ByteReader r(bytes);
+  EXPECT_THROW(decode_message(r), DecodeError);
+}
+
+TEST(BgpMessage, KeepaliveWithBodyRejected) {
+  auto bytes = encode_message(KeepaliveMessage{});
+  bytes[17] = static_cast<std::uint8_t>(kMessageHeaderSize + 1);
+  bytes.push_back(0);
+  ByteReader r(bytes);
+  EXPECT_THROW(decode_message(r), DecodeError);
+}
+
+TEST(BgpMessage, StreamOfMessages) {
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 3; ++i) {
+    const auto m = encode_message(KeepaliveMessage{});
+    stream.insert(stream.end(), m.begin(), m.end());
+  }
+  ByteReader r(stream);
+  int count = 0;
+  while (!r.exhausted()) {
+    decode_message(r);
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+TEST(BgpMessage, OversizeRejected) {
+  UpdateMessage update;
+  for (std::uint16_t i = 0; i < 1200; ++i) {
+    update.attrs.communities.emplace_back(64500, i);
+  }
+  EXPECT_THROW(encode_message(update), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace htor::bgp

@@ -1,0 +1,84 @@
+// Tests for the Figure-2 correction experiment.
+#include <gtest/gtest.h>
+
+#include "core/correction.hpp"
+
+namespace htor::core {
+namespace {
+
+// Baseline: hub 1 misinferred p2p toward 2 and 3 (truth: provider of both).
+RelationshipMap misinferred() {
+  RelationshipMap rels;
+  rels.set(1, 2, Relationship::P2P);
+  rels.set(1, 3, Relationship::P2P);
+  rels.set(2, 4, Relationship::P2C);
+  rels.set(3, 5, Relationship::P2C);
+  return rels;
+}
+
+std::vector<HybridFinding> corrections() {
+  HybridFinding a;
+  a.link = LinkKey(1, 2);
+  a.rel_v4 = Relationship::P2P;
+  a.rel_v6 = Relationship::P2C;  // correct IPv6 relationship
+  a.v6_path_visibility = 10;
+  HybridFinding b;
+  b.link = LinkKey(1, 3);
+  b.rel_v4 = Relationship::P2P;
+  b.rel_v6 = Relationship::P2C;
+  b.v6_path_visibility = 5;
+  return {a, b};
+}
+
+TEST(Correction, StepZeroIsBaseline) {
+  const auto steps = correction_experiment(misinferred(), corrections(), 2);
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[0].corrected, 0u);
+  EXPECT_EQ(steps[0].metrics.edges, 2u);  // only the two true p2c edges
+}
+
+TEST(Correction, EachStepAppliesOneFix) {
+  const auto steps = correction_experiment(misinferred(), corrections(), 2);
+  EXPECT_EQ(steps[1].metrics.edges, 3u);
+  EXPECT_EQ(steps[2].metrics.edges, 4u);
+  // Connecting the hub grows the reachable-pair set monotonically here.
+  EXPECT_GT(steps[1].metrics.reachable_pairs, steps[0].metrics.reachable_pairs);
+  EXPECT_GT(steps[2].metrics.reachable_pairs, steps[1].metrics.reachable_pairs);
+}
+
+TEST(Correction, MaxCorrectionsCapsSteps) {
+  const auto steps = correction_experiment(misinferred(), corrections(), 1);
+  EXPECT_EQ(steps.size(), 2u);
+  const auto all = correction_experiment(misinferred(), corrections(), 100);
+  EXPECT_EQ(all.size(), 3u);  // capped by the number of findings
+}
+
+TEST(Correction, BaselineMapIsNotMutated) {
+  const auto baseline = misinferred();
+  (void)correction_experiment(baseline, corrections(), 2);
+  EXPECT_EQ(baseline.get(1, 2), Relationship::P2P);
+}
+
+TEST(Correction, ReverseCorrectionRemovesEdges) {
+  // A hybrid whose correct IPv6 relationship is p2p removes a false transit
+  // edge from the union.
+  RelationshipMap rels;
+  rels.set(1, 2, Relationship::P2C);
+  rels.set(2, 3, Relationship::P2C);
+  HybridFinding f;
+  f.link = LinkKey(1, 2);
+  f.rel_v4 = Relationship::P2C;
+  f.rel_v6 = Relationship::P2P;
+  const auto steps = correction_experiment(rels, {f}, 1);
+  EXPECT_EQ(steps[0].metrics.edges, 2u);
+  EXPECT_EQ(steps[1].metrics.edges, 1u);
+}
+
+TEST(Correction, EmptyInputs) {
+  const auto steps = correction_experiment(RelationshipMap{}, {}, 20);
+  ASSERT_EQ(steps.size(), 1u);
+  EXPECT_EQ(steps[0].metrics.edges, 0u);
+}
+
+}  // namespace
+}  // namespace htor::core

@@ -1,0 +1,237 @@
+// Tests for the synthetic-Internet generator: determinism, structural
+// sanity, the planted ground truth, prefixes, IRR output, and collection.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "gen/internet.hpp"
+#include "rpsl/community_dict.hpp"
+#include "rpsl/object.hpp"
+#include "topology/reachability.hpp"
+
+namespace htor::gen {
+namespace {
+
+const SyntheticInternet& small_net() {
+  static const SyntheticInternet net = SyntheticInternet::generate(small_params(7));
+  return net;
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const auto a = SyntheticInternet::generate(small_params(11));
+  const auto b = SyntheticInternet::generate(small_params(11));
+  EXPECT_EQ(a.graph().as_count(), b.graph().as_count());
+  EXPECT_EQ(a.graph().link_count(IpVersion::V4), b.graph().link_count(IpVersion::V4));
+  EXPECT_EQ(a.graph().link_count(IpVersion::V6), b.graph().link_count(IpVersion::V6));
+  EXPECT_EQ(a.hybrid_links(), b.hybrid_links());
+  EXPECT_EQ(a.vantages(), b.vantages());
+  EXPECT_EQ(a.relaxed_ases(), b.relaxed_ases());
+  EXPECT_EQ(a.irr_dump(), b.irr_dump());
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const auto a = SyntheticInternet::generate(small_params(1));
+  const auto b = SyntheticInternet::generate(small_params(2));
+  EXPECT_NE(a.graph().link_count(IpVersion::V4), b.graph().link_count(IpVersion::V4));
+}
+
+TEST(Generator, PopulationMatchesParams) {
+  const auto& net = small_net();
+  const auto params = small_params(7);
+  EXPECT_EQ(net.graph().as_count(), params.total_ases());
+  std::size_t tier1 = 0;
+  for (Asn asn : net.graph().ases()) {
+    if (net.tier_of(asn) == Tier::Tier1) ++tier1;
+  }
+  EXPECT_EQ(tier1, params.tier1_count);
+}
+
+TEST(Generator, DisputePairHasNoV6Link) {
+  const auto& net = small_net();
+  const auto [a, b] = net.dispute_pair();
+  ASSERT_NE(a, 0u);
+  EXPECT_TRUE(net.graph().has_link(a, b, IpVersion::V4));
+  EXPECT_FALSE(net.graph().has_link(a, b, IpVersion::V6));
+}
+
+TEST(Generator, DisputePartitionsStrictV6Routing) {
+  const auto& net = small_net();
+  const auto [a, b] = net.dispute_pair();
+  ValleyFreeRouting vf(net.graph(), net.truth(IpVersion::V6), IpVersion::V6);
+  EXPECT_FALSE(vf.reachable(a, b));
+}
+
+TEST(Generator, EveryV6LinkJoinsV6CapableAses) {
+  const auto& net = small_net();
+  net.graph().for_each_link(IpVersion::V6, [&](const LinkKey& key) {
+    EXPECT_TRUE(net.v6_capable(key.first)) << "AS" << key.first;
+    EXPECT_TRUE(net.v6_capable(key.second)) << "AS" << key.second;
+  });
+}
+
+TEST(Generator, EveryLinkHasARelationship) {
+  const auto& net = small_net();
+  net.graph().for_each_link(IpVersion::V6, [&](const LinkKey& key) {
+    EXPECT_NE(net.truth(IpVersion::V6).get(key.first, key.second), Relationship::Unknown);
+  });
+  net.graph().for_each_link(IpVersion::V4, [&](const LinkKey& key) {
+    EXPECT_NE(net.truth(IpVersion::V4).get(key.first, key.second), Relationship::Unknown);
+  });
+}
+
+TEST(Generator, HybridGroundTruthIsConsistent) {
+  const auto& net = small_net();
+  EXPECT_FALSE(net.hybrid_links().empty());
+  for (const auto& h : net.hybrid_links()) {
+    // Hybrid links must be dual-stack and actually differ between planes.
+    EXPECT_TRUE(net.graph().has_link(h.link.first, h.link.second, IpVersion::V4));
+    EXPECT_TRUE(net.graph().has_link(h.link.first, h.link.second, IpVersion::V6));
+    EXPECT_NE(h.rel_v4, h.rel_v6);
+    // And the recorded truth matches the relationship maps.
+    EXPECT_EQ(net.truth(IpVersion::V4).get(h.link.first, h.link.second), h.rel_v4);
+    EXPECT_EQ(net.truth(IpVersion::V6).get(h.link.first, h.link.second), h.rel_v6);
+  }
+}
+
+TEST(Generator, NonHybridDualLinksAgreeAcrossPlanes) {
+  const auto& net = small_net();
+  std::unordered_set<LinkKey, LinkKeyHash> hybrid;
+  for (const auto& h : net.hybrid_links()) hybrid.insert(h.link);
+  for (const auto& key : net.graph().dual_stack_links()) {
+    if (hybrid.count(key)) continue;
+    EXPECT_EQ(net.truth(IpVersion::V4).get(key.first, key.second),
+              net.truth(IpVersion::V6).get(key.first, key.second));
+  }
+}
+
+TEST(Generator, EvangelistGivesFreeV6Transit) {
+  const auto& net = small_net();
+  const Asn ev = net.evangelist();
+  ASSERT_NE(ev, 0u);
+  // The evangelist's links can also be hit by the random hybrid planting;
+  // the free-transit population is the p2p(v4) subset, and there its side
+  // of the IPv6 relationship must always be provider.
+  std::size_t free_transit = 0;
+  for (const auto& h : net.hybrid_links()) {
+    if (h.link.first != ev && h.link.second != ev) continue;
+    if (h.rel_v4 != Relationship::P2P) continue;
+    const Relationship from_ev = h.link.first == ev ? h.rel_v6 : reverse(h.rel_v6);
+    EXPECT_EQ(from_ev, Relationship::P2C);  // the evangelist is the provider
+    ++free_transit;
+  }
+  EXPECT_GT(free_transit, 0u);
+}
+
+TEST(Generator, PrefixRoundTrip) {
+  const auto& net = small_net();
+  for (Asn asn : net.graph().ases()) {
+    for (IpVersion af : {IpVersion::V4, IpVersion::V6}) {
+      const Prefix p = net.prefix_of(asn, af);
+      EXPECT_EQ(p.version(), af);
+      EXPECT_EQ(net.origin_of(p), asn) << p.to_string();
+    }
+  }
+  EXPECT_EQ(net.origin_of(Prefix::parse("203.0.113.0/24")), 0u);
+  EXPECT_EQ(net.origin_of(Prefix::parse("2001:db9::/48")), 0u);
+}
+
+TEST(Generator, IrrDumpIsMineable) {
+  const auto& net = small_net();
+  const auto objects = rpsl::parse_objects(net.irr_dump());
+  EXPECT_FALSE(objects.empty());
+  const auto dict = rpsl::mine_dictionary(objects);
+  EXPECT_GT(dict.size(), 0u);
+  EXPECT_GT(dict.documented_asns().size(), 0u);
+
+  // Every publishing, non-cryptic AS's relationship communities must be in
+  // the dictionary with the right meaning.
+  for (Asn asn : net.graph().ases()) {
+    const auto& prof = net.profile(asn);
+    if (!prof.publishes_irr || prof.cryptic_remarks) continue;
+    const auto* cust =
+        dict.lookup(bgp::Community(static_cast<std::uint16_t>(asn), prof.c_customer));
+    ASSERT_NE(cust, nullptr) << "AS" << asn;
+    EXPECT_EQ(cust->kind, rpsl::CommunityTagKind::FromCustomer);
+    const auto* te =
+        dict.lookup(bgp::Community(static_cast<std::uint16_t>(asn), prof.c_te_locpref));
+    ASSERT_NE(te, nullptr);
+    EXPECT_EQ(te->kind, rpsl::CommunityTagKind::SetLocPref);
+    EXPECT_EQ(te->locpref, prof.te_locpref_value);
+  }
+}
+
+TEST(Generator, VantagesAreValidAses) {
+  const auto& net = small_net();
+  EXPECT_GT(net.vantages().size(), 4u);
+  for (Asn v : net.vantages()) {
+    EXPECT_TRUE(net.graph().has_as(v));
+  }
+}
+
+TEST(Generator, PoliciesRespectPlane) {
+  const auto& net = small_net();
+  const auto v4 = net.policies(IpVersion::V4);
+  const auto v6 = net.policies(IpVersion::V6);
+  bool any_relaxed_v6 = false;
+  for (const auto& [asn, policy] : v4) {
+    EXPECT_FALSE(policy.relaxed_export) << "AS" << asn << " relaxed in v4";
+    EXPECT_FALSE(policy.relaxed_export_up);
+  }
+  for (const auto& [asn, policy] : v6) {
+    (void)asn;
+    if (policy.relaxed_export || policy.relaxed_export_up) any_relaxed_v6 = true;
+    EXPECT_GT(policy.lp_customer, policy.lp_peer);
+    EXPECT_GT(policy.lp_peer, policy.lp_provider);
+  }
+  EXPECT_TRUE(any_relaxed_v6);
+}
+
+TEST(Generator, CollectProducesBothPlanes) {
+  const auto rib = small_net().collect();
+  EXPECT_GT(rib.size_of(IpVersion::V4), 0u);
+  EXPECT_GT(rib.size_of(IpVersion::V6), 0u);
+  for (const auto& route : rib.routes()) {
+    ASSERT_FALSE(route.as_path.empty());
+    EXPECT_EQ(route.as_path.front(), route.peer_asn);
+    EXPECT_EQ(small_net().origin_of(route.prefix), route.origin_asn());
+    EXPECT_TRUE(route.local_pref.has_value());
+  }
+}
+
+TEST(Generator, CollectIsDeterministic) {
+  const auto a = SyntheticInternet::generate(small_params(13)).collect();
+  const auto b = SyntheticInternet::generate(small_params(13)).collect();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.routes(), b.routes());
+}
+
+TEST(Generator, GeoTagDeterminism) {
+  const auto& net = small_net();
+  const Asn asn = net.graph().ases().front();
+  EXPECT_EQ(net.geo_tag_applies(asn, 42), net.geo_tag_applies(asn, 42));
+}
+
+TEST(Generator, UnknownAsThrows) {
+  EXPECT_THROW(small_net().profile(999999), InvalidArgument);
+}
+
+// Sweep the planted hybrid fraction: the ground truth should track the knob.
+class HybridFractionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HybridFractionSweep, PlantedShareTracksKnob) {
+  auto params = small_params(21);
+  params.hybrid_fraction = GetParam();
+  params.v6_evangelist = false;  // isolate the random planting
+  const auto net = SyntheticInternet::generate(params);
+  const double dual = static_cast<double>(net.graph().dual_stack_link_count());
+  const double planted = static_cast<double>(net.hybrid_links().size());
+  // Eligibility filters (non-stub, multi-provider) cap the achievable share;
+  // it must grow with the knob and never exceed it by much.
+  EXPECT_LE(planted / dual, GetParam() + 0.02);
+  if (GetParam() >= 0.1) EXPECT_GT(planted, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, HybridFractionSweep, ::testing::Values(0.0, 0.1, 0.2, 0.3));
+
+}  // namespace
+}  // namespace htor::gen

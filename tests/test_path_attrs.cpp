@@ -1,0 +1,160 @@
+// Unit tests for the path-attribute wire codec: per-attribute round trips,
+// flag handling, extended lengths, unknown-attribute passthrough, the MRT
+// abbreviated MP_REACH form, and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "bgp/path_attrs.hpp"
+
+namespace htor::bgp {
+namespace {
+
+PathAttributes round_trip(const PathAttributes& in, MpReachForm form = MpReachForm::Full) {
+  const auto bytes = encode_path_attributes(in, form);
+  ByteReader r(bytes);
+  return decode_path_attributes(r, form);
+}
+
+TEST(PathAttrs, EmptySet) {
+  const PathAttributes attrs;
+  EXPECT_TRUE(encode_path_attributes(attrs).empty());
+  EXPECT_EQ(round_trip(attrs), attrs);
+}
+
+TEST(PathAttrs, FullIpv4RouteRoundTrip) {
+  PathAttributes attrs;
+  attrs.origin = Origin::Igp;
+  attrs.as_path = AsPath::sequence({64500, 3356, 1299});
+  attrs.next_hop = IpAddress::parse("192.0.2.1");
+  attrs.med = 50;
+  attrs.local_pref = 120;
+  attrs.atomic_aggregate = true;
+  attrs.aggregator = Aggregator{64500, IpAddress::parse("10.0.0.1")};
+  attrs.communities = {Community(3356, 100), kNoExport};
+  EXPECT_EQ(round_trip(attrs), attrs);
+}
+
+TEST(PathAttrs, Ipv6MpReachRoundTrip) {
+  PathAttributes attrs;
+  attrs.origin = Origin::Egp;
+  attrs.as_path = AsPath::sequence({1, 2});
+  MpReachNlri mp;
+  mp.afi = Afi::Ipv6;
+  mp.safi = Safi::Unicast;
+  mp.next_hops = {IpAddress::parse("2001:db8::1"), IpAddress::parse("fe80::1")};
+  mp.nlri = {Prefix::parse("2001:db8:1::/48"), Prefix::parse("2001:db8:2::/48")};
+  attrs.mp_reach = mp;
+  EXPECT_EQ(round_trip(attrs), attrs);
+}
+
+TEST(PathAttrs, MpUnreachRoundTrip) {
+  PathAttributes attrs;
+  MpUnreachNlri mp;
+  mp.afi = Afi::Ipv6;
+  mp.withdrawn = {Prefix::parse("2001:db8::/32")};
+  attrs.mp_unreach = mp;
+  EXPECT_EQ(round_trip(attrs), attrs);
+}
+
+TEST(PathAttrs, MrtRibAbbreviatedMpReach) {
+  PathAttributes attrs;
+  attrs.as_path = AsPath::sequence({65000, 65001});
+  MpReachNlri mp;
+  mp.next_hops = {IpAddress::parse("2001:db8::ff")};
+  // NLRI intentionally absent: it lives in the MRT RIB header.
+  attrs.mp_reach = mp;
+
+  const auto decoded = round_trip(attrs, MpReachForm::MrtRib);
+  ASSERT_TRUE(decoded.mp_reach.has_value());
+  EXPECT_EQ(decoded.mp_reach->next_hops, mp.next_hops);
+  EXPECT_TRUE(decoded.mp_reach->nlri.empty());
+  EXPECT_EQ(decoded.mp_reach->afi, Afi::Ipv6);
+}
+
+TEST(PathAttrs, MrtRibFormInfersV4NextHop) {
+  PathAttributes attrs;
+  MpReachNlri mp;
+  mp.afi = Afi::Ipv4;
+  mp.next_hops = {IpAddress::parse("10.0.0.1")};
+  attrs.mp_reach = mp;
+  const auto decoded = round_trip(attrs, MpReachForm::MrtRib);
+  ASSERT_TRUE(decoded.mp_reach.has_value());
+  EXPECT_EQ(decoded.mp_reach->afi, Afi::Ipv4);
+  EXPECT_EQ(decoded.mp_reach->next_hops[0].to_string(), "10.0.0.1");
+}
+
+TEST(PathAttrs, LargeCommunitiesRoundTrip) {
+  PathAttributes attrs;
+  attrs.large_communities = {{64500, 1, 2}, {64500, 3, 4}};
+  EXPECT_EQ(round_trip(attrs), attrs);
+}
+
+TEST(PathAttrs, UnknownAttributePassthrough) {
+  PathAttributes attrs;
+  RawAttribute raw;
+  raw.flags = kAttrFlagOptional | kAttrFlagTransitive;
+  raw.type = 99;
+  raw.payload = {1, 2, 3, 4};
+  attrs.unknown = {raw};
+  EXPECT_EQ(round_trip(attrs), attrs);
+}
+
+TEST(PathAttrs, ExtendedLengthForLargePayloads) {
+  PathAttributes attrs;
+  // 70 communities = 280 bytes > 255 -> needs the extended-length flag.
+  for (std::uint16_t i = 0; i < 70; ++i) attrs.communities.emplace_back(64500, i);
+  const auto bytes = encode_path_attributes(attrs);
+  EXPECT_TRUE(bytes[0] & kAttrFlagExtendedLength);
+  EXPECT_EQ(round_trip(attrs), attrs);
+}
+
+TEST(PathAttrs, AsSetSegmentRoundTrip) {
+  PathAttributes attrs;
+  AsPath p;
+  p.add_segment({AsSegmentType::Sequence, {64500}});
+  p.add_segment({AsSegmentType::Set, {1, 2, 3}});
+  attrs.as_path = p;
+  EXPECT_EQ(round_trip(attrs), attrs);
+}
+
+TEST(PathAttrs, MalformedInputsThrow) {
+  {
+    // ORIGIN with invalid value 7.
+    const std::uint8_t bytes[] = {kAttrFlagTransitive, 1, 1, 7};
+    ByteReader r(bytes);
+    EXPECT_THROW(decode_path_attributes(r), DecodeError);
+  }
+  {
+    // Attribute length runs past the buffer.
+    const std::uint8_t bytes[] = {kAttrFlagTransitive, 8, 8, 0, 0};
+    ByteReader r(bytes);
+    EXPECT_THROW(decode_path_attributes(r), DecodeError);
+  }
+  {
+    // COMMUNITIES payload not a multiple of 4.
+    const std::uint8_t bytes[] = {kAttrFlagTransitive, 8, 3, 0, 0, 1};
+    ByteReader r(bytes);
+    EXPECT_THROW(decode_path_attributes(r), DecodeError);
+  }
+  {
+    // AS_PATH with bad segment type.
+    const std::uint8_t bytes[] = {kAttrFlagTransitive, 2, 2, 9, 0};
+    ByteReader r(bytes);
+    EXPECT_THROW(decode_path_attributes(r), DecodeError);
+  }
+}
+
+TEST(PathAttrs, EncodeRejectsNonV4NextHop) {
+  PathAttributes attrs;
+  attrs.next_hop = IpAddress::parse("2001:db8::1");
+  EXPECT_THROW(encode_path_attributes(attrs), InvalidArgument);
+}
+
+TEST(PathAttrs, HasCommunityHelper) {
+  PathAttributes attrs;
+  attrs.communities = {Community(1, 2)};
+  EXPECT_TRUE(attrs.has_community(Community(1, 2)));
+  EXPECT_FALSE(attrs.has_community(Community(1, 3)));
+}
+
+}  // namespace
+}  // namespace htor::bgp

@@ -1,0 +1,144 @@
+// Unit and property tests for Prefix and PrefixTrie (longest-prefix match
+// cross-checked against a brute-force oracle).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "netbase/prefix.hpp"
+#include "netbase/trie.hpp"
+#include "util/rng.hpp"
+
+namespace htor {
+namespace {
+
+TEST(Prefix, ParseAndCanonicalize) {
+  const auto p = Prefix::parse("192.0.2.129/25");
+  EXPECT_EQ(p.to_string(), "192.0.2.128/25");  // host bits cleared
+  EXPECT_EQ(p.length(), 25);
+  const auto p6 = Prefix::parse("2001:db8:1234:ffff::/48");
+  EXPECT_EQ(p6.to_string(), "2001:db8:1234::/48");
+}
+
+TEST(Prefix, ParseErrors) {
+  Prefix out;
+  EXPECT_FALSE(Prefix::try_parse("192.0.2.0", out));      // no length
+  EXPECT_FALSE(Prefix::try_parse("192.0.2.0/33", out));   // too long
+  EXPECT_FALSE(Prefix::try_parse("2001:db8::/129", out));
+  EXPECT_FALSE(Prefix::try_parse("x/8", out));
+  EXPECT_THROW(Prefix::parse("192.0.2.0/"), ParseError);
+}
+
+TEST(Prefix, ContainsAddress) {
+  const auto p = Prefix::parse("10.1.0.0/16");
+  EXPECT_TRUE(p.contains(IpAddress::parse("10.1.2.3")));
+  EXPECT_FALSE(p.contains(IpAddress::parse("10.2.0.0")));
+  EXPECT_FALSE(p.contains(IpAddress::parse("2001:db8::1")));  // family mismatch
+}
+
+TEST(Prefix, ContainsPrefix) {
+  const auto p = Prefix::parse("10.0.0.0/8");
+  EXPECT_TRUE(p.contains(Prefix::parse("10.1.0.0/16")));
+  EXPECT_TRUE(p.contains(p));
+  EXPECT_FALSE(p.contains(Prefix::parse("0.0.0.0/0")));  // less specific
+  EXPECT_FALSE(p.contains(Prefix::parse("11.0.0.0/16")));
+}
+
+TEST(Prefix, DefaultRouteContainsEverything) {
+  const Prefix def;  // 0.0.0.0/0
+  EXPECT_TRUE(def.contains(IpAddress::parse("255.255.255.255")));
+  EXPECT_TRUE(def.contains(Prefix::parse("192.0.2.0/24")));
+}
+
+TEST(PrefixTrie, ExactMatch) {
+  PrefixTrie<int> trie(IpVersion::V4);
+  EXPECT_TRUE(trie.assign(Prefix::parse("10.0.0.0/8"), 1));
+  EXPECT_TRUE(trie.assign(Prefix::parse("10.1.0.0/16"), 2));
+  EXPECT_FALSE(trie.assign(Prefix::parse("10.0.0.0/8"), 3));  // overwrite
+  EXPECT_EQ(trie.size(), 2u);
+  ASSERT_NE(trie.find(Prefix::parse("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*trie.find(Prefix::parse("10.0.0.0/8")), 3);
+  EXPECT_EQ(trie.find(Prefix::parse("10.0.0.0/9")), nullptr);
+}
+
+TEST(PrefixTrie, LongestMatch) {
+  PrefixTrie<int> trie(IpVersion::V4);
+  trie.assign(Prefix::parse("0.0.0.0/0"), 0);
+  trie.assign(Prefix::parse("10.0.0.0/8"), 8);
+  trie.assign(Prefix::parse("10.1.0.0/16"), 16);
+  auto m = trie.longest_match(IpAddress::parse("10.1.2.3"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->to_string(), "10.1.0.0/16");
+  EXPECT_EQ(*trie.longest_match_value(IpAddress::parse("10.1.2.3")), 16);
+  EXPECT_EQ(*trie.longest_match_value(IpAddress::parse("10.200.0.1")), 8);
+  EXPECT_EQ(*trie.longest_match_value(IpAddress::parse("192.0.2.1")), 0);
+}
+
+TEST(PrefixTrie, MissWithoutDefault) {
+  PrefixTrie<int> trie(IpVersion::V6);
+  trie.assign(Prefix::parse("2001:db8::/32"), 1);
+  EXPECT_FALSE(trie.longest_match(IpAddress::parse("2002::1")).has_value());
+  EXPECT_EQ(trie.longest_match_value(IpAddress::parse("2002::1")), nullptr);
+}
+
+TEST(PrefixTrie, FamilyMismatchThrows) {
+  PrefixTrie<int> trie(IpVersion::V4);
+  EXPECT_THROW(trie.assign(Prefix::parse("2001:db8::/32"), 1), InvalidArgument);
+  EXPECT_THROW(trie.longest_match(IpAddress::parse("::1")), InvalidArgument);
+}
+
+TEST(PrefixTrie, ForEachVisitsAll) {
+  PrefixTrie<int> trie(IpVersion::V4);
+  trie.assign(Prefix::parse("10.0.0.0/8"), 1);
+  trie.assign(Prefix::parse("192.0.2.0/24"), 2);
+  trie.assign(Prefix::parse("0.0.0.0/0"), 3);
+  int count = 0;
+  int sum = 0;
+  trie.for_each([&](const Prefix&, int v) {
+    ++count;
+    sum += v;
+  });
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sum, 6);
+}
+
+// Property: trie longest-match agrees with a brute-force scan over random
+// prefix sets, for both families.
+class TrieVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieVsBruteForce, Agrees) {
+  Rng rng(GetParam());
+  const IpVersion ver = GetParam() % 2 == 0 ? IpVersion::V4 : IpVersion::V6;
+  PrefixTrie<std::size_t> trie(ver);
+  std::vector<Prefix> prefixes;
+
+  auto random_address = [&]() {
+    std::array<std::uint8_t, 16> raw{};
+    for (auto& b : raw) b = static_cast<std::uint8_t>(rng.uniform(0, 3) * 85);
+    return ver == IpVersion::V4
+               ? IpAddress(IpVersion::V4, std::span<const std::uint8_t>(raw.data(), 4))
+               : IpAddress(IpVersion::V6, raw);
+  };
+
+  for (int i = 0; i < 120; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.uniform(0, address_bits(ver)));
+    const Prefix p(random_address(), len);
+    trie.assign(p, prefixes.size());
+    prefixes.push_back(p);
+  }
+
+  for (int i = 0; i < 300; ++i) {
+    const IpAddress probe = random_address();
+    std::optional<Prefix> best;
+    for (const auto& p : prefixes) {
+      if (p.contains(probe) && (!best || p.length() > best->length())) best = p;
+    }
+    const auto got = trie.longest_match(probe);
+    ASSERT_EQ(got.has_value(), best.has_value());
+    if (best) EXPECT_EQ(got->length(), best->length());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieVsBruteForce, ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace htor

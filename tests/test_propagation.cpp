@@ -1,0 +1,255 @@
+// Tests for the BGP propagation engine: decision process, export filters,
+// loop suppression, prepending, TE overrides, relaxation semantics, and the
+// emergent valley-free property (parameterized over generated topologies).
+#include <gtest/gtest.h>
+
+#include "gen/internet.hpp"
+#include "propagation/engine.hpp"
+#include "topology/valley.hpp"
+
+namespace htor::prop {
+namespace {
+
+struct World {
+  AsGraph graph;
+  RelationshipMap rels;
+  std::unordered_map<Asn, NodePolicy> policies;
+
+  void link(Asn a, Asn b, Relationship rel) {
+    graph.add_link(a, b, IpVersion::V4);
+    rels.set(a, b, rel);
+  }
+  Engine engine(const TeOverrides* te = nullptr) {
+    return Engine(graph, rels, IpVersion::V4, policies, te);
+  }
+};
+
+//        1 --p2p-- 2
+//       /|          \            classic diamond used throughout
+//      3 4           5
+//            6 below 4
+World diamond() {
+  World w;
+  w.link(1, 2, Relationship::P2P);
+  w.link(1, 3, Relationship::P2C);
+  w.link(1, 4, Relationship::P2C);
+  w.link(2, 5, Relationship::P2C);
+  w.link(4, 6, Relationship::P2C);
+  return w;
+}
+
+TEST(Engine, PropagatesToEveryoneInAHierarchy) {
+  World w = diamond();
+  auto e = w.engine();
+  e.run(6);
+  for (Asn node : {1u, 2u, 3u, 4u, 5u}) {
+    EXPECT_TRUE(e.has_route(node)) << "AS" << node;
+  }
+  EXPECT_EQ(e.advertised_path(6), (std::vector<Asn>{6}));
+  EXPECT_EQ(e.advertised_path(4), (std::vector<Asn>{4, 6}));
+  EXPECT_EQ(e.advertised_path(1), (std::vector<Asn>{1, 4, 6}));
+  // 5 hears it via 2, which heard it over the peering link from 1.
+  EXPECT_EQ(e.advertised_path(5), (std::vector<Asn>{5, 2, 1, 4, 6}));
+  EXPECT_TRUE(e.converged());
+}
+
+TEST(Engine, PeerLearnedRoutesNotReExportedToPeers) {
+  // 3 originates; 2 learns it via the 1-2 peering; 2 must not hand it to
+  // another peer 7.
+  World w = diamond();
+  w.link(2, 7, Relationship::P2P);
+  auto e = w.engine();
+  e.run(3);
+  EXPECT_TRUE(e.has_route(5));   // 2's customer gets it
+  EXPECT_FALSE(e.has_route(7));  // 2's peer does not
+}
+
+TEST(Engine, ProviderRoutesNotExportedUpward) {
+  World w;
+  w.link(1, 2, Relationship::P2C);
+  w.link(2, 3, Relationship::P2C);
+  w.link(9, 3, Relationship::P2C);  // 9 is another provider of 3
+  auto e = w.engine();
+  e.run(1);
+  EXPECT_TRUE(e.has_route(3));
+  EXPECT_FALSE(e.has_route(9));  // would be a leak
+}
+
+TEST(Engine, PrefersCustomerRouteOverPeerAndProvider) {
+  World w;
+  w.link(10, 20, Relationship::P2C);
+  w.link(20, 99, Relationship::P2C);
+  w.link(10, 30, Relationship::P2P);
+  w.link(30, 99, Relationship::P2C);
+  w.link(10, 40, Relationship::C2P);
+  w.link(40, 99, Relationship::P2C);
+  auto e = w.engine();
+  e.run(99);
+  EXPECT_EQ(e.advertised_path(10), (std::vector<Asn>{10, 20, 99}));
+  EXPECT_EQ(e.source(10), RouteSource::Customer);
+  EXPECT_EQ(e.locpref(10), NodePolicy{}.lp_customer);
+  EXPECT_EQ(e.best_neighbor(10), Asn{20});
+}
+
+TEST(Engine, ShorterPathWinsAtEqualLocPrf) {
+  World w;
+  w.link(1, 2, Relationship::P2C);
+  w.link(2, 9, Relationship::P2C);
+  w.link(1, 3, Relationship::P2C);
+  w.link(3, 4, Relationship::P2C);
+  w.link(4, 9, Relationship::P2C);
+  auto e = w.engine();
+  e.run(9);
+  EXPECT_EQ(e.advertised_path(1), (std::vector<Asn>{1, 2, 9}));
+}
+
+TEST(Engine, LowestNeighborAsnBreaksTies) {
+  World w;
+  w.link(1, 5, Relationship::P2C);
+  w.link(1, 3, Relationship::P2C);
+  w.link(5, 9, Relationship::P2C);
+  w.link(3, 9, Relationship::P2C);
+  auto e = w.engine();
+  e.run(9);
+  EXPECT_EQ(e.best_neighbor(1), Asn{3});
+}
+
+TEST(Engine, PrependingLengthensAndAppearsInPath) {
+  World w;
+  w.link(1, 2, Relationship::P2C);  // 1 provider of 2
+  w.link(3, 2, Relationship::P2C);  // 3 provider of 2
+  w.link(1, 3, Relationship::P2P);
+  w.policies[2].prepend_to_provider = 2;
+  auto e = w.engine();
+  e.run(2);
+  // 1 hears [2 2 2] directly from its customer 2.
+  EXPECT_EQ(e.advertised_path(1), (std::vector<Asn>{1, 2, 2, 2}));
+  EXPECT_EQ(check_valley_free(e.advertised_path(1), w.rels).cls, PathPolicyClass::ValleyFree);
+}
+
+TEST(Engine, TeOverrideChangesSelection) {
+  // 10 reaches 99 via a long customer chain or a short peer path; the TE
+  // override flattens LocPrf so the shorter (peer) path wins.
+  World w;
+  w.link(10, 20, Relationship::P2C);
+  w.link(20, 21, Relationship::P2C);
+  w.link(21, 99, Relationship::P2C);
+  w.link(10, 30, Relationship::P2P);
+  w.link(30, 99, Relationship::P2C);
+  TeOverrides te;
+  te.set(10, 99, 55);
+  auto e = w.engine(&te);
+  e.run(99);
+  EXPECT_EQ(e.advertised_path(10), (std::vector<Asn>{10, 30, 99}));
+  EXPECT_EQ(e.locpref(10), 55u);
+}
+
+TEST(Engine, SiblingTransparencyBlocksLeaks) {
+  // 2 and 3 are siblings; 2 learns from provider 1, exports to sibling 3;
+  // 3 must NOT re-export the provider-learned route to its own provider 4.
+  World w;
+  w.link(1, 2, Relationship::P2C);
+  w.link(2, 3, Relationship::S2S);
+  w.link(4, 3, Relationship::P2C);
+  auto e = w.engine();
+  e.run(1);
+  EXPECT_TRUE(e.has_route(3));
+  EXPECT_EQ(e.source(3), RouteSource::Sibling);
+  EXPECT_FALSE(e.has_route(4));
+}
+
+TEST(Engine, RelaxedExportLeaksToPeers) {
+  World w;
+  w.link(1, 2, Relationship::P2C);
+  w.link(2, 3, Relationship::P2P);
+  w.policies[2].relaxed_export = true;
+  w.policies[2].relax_origin_fraction = 1.0;
+  auto e = w.engine();
+  e.run(1);
+  EXPECT_TRUE(e.has_route(3));
+  const auto path = e.advertised_path(3);
+  EXPECT_EQ(path, (std::vector<Asn>{3, 2, 1}));
+  EXPECT_EQ(check_valley_free(path, w.rels).cls, PathPolicyClass::Valley);
+
+  // Without relaxation the same route must not exist.
+  w.policies[2].relaxed_export = false;
+  auto e2 = w.engine();
+  e2.run(1);
+  EXPECT_FALSE(e2.has_route(3));
+}
+
+TEST(Engine, SelectiveRelaxationSkipsSomeOrigins) {
+  World w;
+  w.link(1, 2, Relationship::P2C);
+  w.link(2, 3, Relationship::P2P);
+  w.policies[2].relaxed_export = true;
+  w.policies[2].relax_origin_fraction = 0.0;  // fully selective: nothing leaks
+  auto e = w.engine();
+  e.run(1);
+  EXPECT_FALSE(e.has_route(3));
+}
+
+TEST(Engine, FullRelaxationLeaksUpwardDepreffed) {
+  // 2 learns from peer 1 and leaks it up to provider 4 (healer behaviour);
+  // 4 must receive it at the last-resort LocPrf.
+  World w;
+  w.link(1, 2, Relationship::P2P);
+  w.link(4, 2, Relationship::P2C);
+  w.policies[2].relaxed_export_up = true;
+  auto e = w.engine();
+  e.run(1);
+  ASSERT_TRUE(e.has_route(4));
+  EXPECT_LT(e.locpref(4), NodePolicy{}.lp_provider);
+  EXPECT_EQ(e.advertised_path(4), (std::vector<Asn>{4, 2, 1}));
+}
+
+TEST(Engine, LastResortRouteLosesToAnyAlternative) {
+  // 4 hears origin 1 both through the healer leak (depreffed) and through a
+  // normal peering with 1; the normal route must win.
+  World w;
+  w.link(1, 2, Relationship::P2P);
+  w.link(4, 2, Relationship::P2C);
+  w.link(4, 1, Relationship::P2P);
+  w.policies[2].relaxed_export_up = true;
+  auto e = w.engine();
+  e.run(1);
+  EXPECT_EQ(e.advertised_path(4), (std::vector<Asn>{4, 1}));
+}
+
+TEST(Engine, UnknownOriginThrows) {
+  World w = diamond();
+  auto e = w.engine();
+  EXPECT_THROW(e.run(12345), InvalidArgument);
+}
+
+// Property: without relaxation, every selected path in a generated topology
+// is valley-free under the ground truth (the Gao-Rexford guarantee).
+class ValleyFreeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ValleyFreeProperty, AllSelectedPathsValleyFree) {
+  auto params = gen::small_params(GetParam());
+  params.relaxed_count = 0;
+  params.healer_pairs = 0;
+  const auto net = gen::SyntheticInternet::generate(params);
+
+  Engine engine(net.graph(), net.truth(IpVersion::V4), IpVersion::V4,
+                net.policies(IpVersion::V4), &net.te_overrides());
+  std::size_t origins = 0;
+  for (Asn origin : net.graph().ases()) {
+    if (net.graph().neighbors(origin, IpVersion::V4).empty()) continue;
+    if (++origins > 40) break;  // a sample is plenty
+    engine.run(origin);
+    EXPECT_TRUE(engine.converged());
+    for (Asn node : net.graph().ases()) {
+      if (!engine.has_route(node)) continue;
+      const auto path = engine.advertised_path(node);
+      const auto check = check_valley_free(path, net.truth(IpVersion::V4));
+      EXPECT_NE(check.cls, PathPolicyClass::Valley) << "origin " << origin << " at " << node;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValleyFreeProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace htor::prop

@@ -1,0 +1,220 @@
+// Unit tests for valley-free reachability / shortest paths, customer trees
+// (including the paper's Figure 1 example), and tier classification.
+#include <gtest/gtest.h>
+
+#include "topology/customer_tree.hpp"
+#include "topology/reachability.hpp"
+#include "topology/tier.hpp"
+
+namespace htor {
+namespace {
+
+// Small hierarchy:
+//       1 --p2p-- 2
+//      /|          \            (1,2 tier-1s; 3,4 their customers;
+//     3 4           5            5 customer of 2; 6 customer of 4)
+//         \
+//          6
+struct SmallWorld {
+  AsGraph graph;
+  RelationshipMap rels;
+
+  SmallWorld() {
+    auto link = [this](Asn a, Asn b, Relationship rel) {
+      graph.add_link(a, b, IpVersion::V4);
+      rels.set(a, b, rel);
+    };
+    link(1, 2, Relationship::P2P);
+    link(1, 3, Relationship::P2C);
+    link(1, 4, Relationship::P2C);
+    link(2, 5, Relationship::P2C);
+    link(4, 6, Relationship::P2C);
+  }
+};
+
+TEST(ValleyFreeRouting, UpPeerDownPaths) {
+  SmallWorld w;
+  ValleyFreeRouting vf(w.graph, w.rels, IpVersion::V4);
+  // 3 -> 6: up to 1, down via 4: 3 hops.
+  EXPECT_EQ(vf.distance(3, 6), 3);
+  // 3 -> 5: up to 1, peer to 2, down to 5.
+  EXPECT_EQ(vf.distance(3, 5), 3);
+  // 6 -> 5: up 4, up 1, peer 2, down 5.
+  EXPECT_EQ(vf.distance(6, 5), 4);
+  EXPECT_EQ(vf.distance(1, 6), 2);
+  EXPECT_EQ(vf.distance(3, 3), 0);
+  EXPECT_TRUE(vf.reachable(5, 6));
+}
+
+TEST(ValleyFreeRouting, PeerPeerForbidden) {
+  AsGraph g;
+  RelationshipMap rels;
+  g.add_link(1, 2, IpVersion::V4);
+  rels.set(1, 2, Relationship::P2P);
+  g.add_link(2, 3, IpVersion::V4);
+  rels.set(2, 3, Relationship::P2P);
+  ValleyFreeRouting vf(g, rels, IpVersion::V4);
+  EXPECT_EQ(vf.distance(1, 2), 1);
+  EXPECT_EQ(vf.distance(1, 3), kUnreachable);  // two peering links
+}
+
+TEST(ValleyFreeRouting, DownThenUpForbidden) {
+  AsGraph g;
+  RelationshipMap rels;
+  g.add_link(1, 2, IpVersion::V4);
+  rels.set(1, 2, Relationship::P2C);  // 2 is 1's customer
+  g.add_link(2, 3, IpVersion::V4);
+  rels.set(2, 3, Relationship::C2P);  // 3 is 2's provider
+  ValleyFreeRouting vf(g, rels, IpVersion::V4);
+  EXPECT_EQ(vf.distance(1, 2), 1);
+  EXPECT_EQ(vf.distance(1, 3), kUnreachable);  // would be a valley
+  EXPECT_EQ(vf.distance(3, 1), kUnreachable);  // symmetric
+  EXPECT_EQ(vf.distance(2, 3), 1);             // climbing first is fine
+}
+
+TEST(ValleyFreeRouting, SiblingsKeepPhase) {
+  AsGraph g;
+  RelationshipMap rels;
+  auto link = [&](Asn a, Asn b, Relationship rel) {
+    g.add_link(a, b, IpVersion::V6);
+    rels.set(a, b, rel);
+  };
+  // 1 -p2c-> 2 -s2s- 3 -p2c-> 4: descending through a sibling pair.
+  link(1, 2, Relationship::P2C);
+  link(2, 3, Relationship::S2S);
+  link(3, 4, Relationship::P2C);
+  ValleyFreeRouting vf(g, rels, IpVersion::V6);
+  EXPECT_EQ(vf.distance(1, 4), 3);
+  // But descending then climbing through the sibling is still a valley.
+  EXPECT_EQ(vf.distance(4, 1), 3);  // 4 up 3 sib 2 up 1: climb-sib-climb, fine
+}
+
+TEST(ValleyFreeRouting, UnknownLinksExcluded) {
+  AsGraph g;
+  RelationshipMap rels;
+  g.add_link(1, 2, IpVersion::V4);  // relationship never set
+  ValleyFreeRouting vf(g, rels, IpVersion::V4);
+  EXPECT_EQ(vf.distance(1, 2), kUnreachable);
+}
+
+TEST(ValleyFreeRouting, MissingAsHandled) {
+  SmallWorld w;
+  ValleyFreeRouting vf(w.graph, w.rels, IpVersion::V4);
+  EXPECT_EQ(vf.distance(3, 99), kUnreachable);
+  EXPECT_TRUE(vf.distances_from(99).empty());
+  EXPECT_THROW(vf.index_of(99), InvalidArgument);
+}
+
+TEST(ConstrainedBfs, RawInterface) {
+  AdjacencyList adj(3);
+  adj[0].push_back({1, EdgeKind::Up});
+  adj[1].push_back({0, EdgeKind::Down});
+  adj[1].push_back({2, EdgeKind::Down});
+  adj[2].push_back({1, EdgeKind::Up});
+  const auto dist = valley_free_distances(adj, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_THROW(valley_free_distances(adj, 7), InvalidArgument);
+}
+
+// --- customer trees (paper Figure 1) --------------------------------------
+
+RelationshipMap figure1(Relationship rel_1_2) {
+  RelationshipMap rels;
+  rels.set(1, 2, rel_1_2);
+  rels.set(1, 3, Relationship::P2C);
+  rels.set(2, 4, Relationship::P2C);
+  rels.set(2, 5, Relationship::P2C);
+  rels.set(4, 6, Relationship::P2C);
+  return rels;
+}
+
+TEST(CustomerTree, Figure1aP2cReachesEverything) {
+  const CustomerTreeAnalysis trees(figure1(Relationship::P2C));
+  auto tree = trees.tree_of(1);
+  std::sort(tree.begin(), tree.end());
+  EXPECT_EQ(tree, (std::vector<Asn>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(trees.cone_size(1), 5u);
+}
+
+TEST(CustomerTree, Figure1bP2pReachesOnlyAs3) {
+  const CustomerTreeAnalysis trees(figure1(Relationship::P2P));
+  auto tree = trees.tree_of(1);
+  std::sort(tree.begin(), tree.end());
+  EXPECT_EQ(tree, (std::vector<Asn>{1, 3}));
+  EXPECT_EQ(trees.cone_size(1), 1u);
+  // AS2's own tree is unaffected by the flip.
+  EXPECT_EQ(trees.cone_size(2), 3u);
+}
+
+TEST(CustomerTree, UnknownRootIsItsOwnTree) {
+  const CustomerTreeAnalysis trees(figure1(Relationship::P2C));
+  EXPECT_EQ(trees.tree_of(42), (std::vector<Asn>{42}));
+  EXPECT_EQ(trees.cone_size(42), 0u);
+}
+
+TEST(CustomerTree, UnionMetricsOnFigure1) {
+  const CustomerTreeAnalysis trees(figure1(Relationship::P2C));
+  const auto m = trees.union_metrics();
+  EXPECT_EQ(m.edges, 5u);
+  EXPECT_EQ(m.nodes, 6u);
+  // Longest valley-free path in the p2c union: 3 -> 1 -> 2 -> 4 -> 6.
+  EXPECT_EQ(m.diameter, 4);
+  EXPECT_GT(m.reachable_pairs, 0u);
+  EXPECT_GT(m.avg_path_length, 1.0);
+  EXPECT_LT(m.avg_path_length, 4.0);
+}
+
+TEST(CustomerTree, FlippingP2pShrinksUnion) {
+  const auto with = CustomerTreeAnalysis(figure1(Relationship::P2C)).union_metrics();
+  const auto without = CustomerTreeAnalysis(figure1(Relationship::P2P)).union_metrics();
+  EXPECT_EQ(with.edges, without.edges + 1);
+  EXPECT_LT(without.reachable_pairs, with.reachable_pairs);
+  EXPECT_LT(without.diameter, with.diameter);
+}
+
+TEST(CustomerTree, PeerOnlyMapIsEmptyUnion) {
+  RelationshipMap rels;
+  rels.set(1, 2, Relationship::P2P);
+  const CustomerTreeAnalysis trees(rels);
+  const auto m = trees.union_metrics();
+  EXPECT_EQ(m.edges, 0u);
+  EXPECT_EQ(m.nodes, 0u);
+  EXPECT_EQ(m.reachable_pairs, 0u);
+  EXPECT_EQ(m.avg_path_length, 0.0);
+}
+
+// --- tiers -----------------------------------------------------------------
+
+TEST(Tiers, Classification) {
+  RelationshipMap rels;
+  // 1 is a provider-free AS with a sizable cone; 2 mid; leaves are stubs.
+  for (Asn c = 10; c < 20; ++c) rels.set(1, c, Relationship::P2C);
+  rels.set(1, 2, Relationship::P2C);
+  for (Asn c = 30; c < 36; ++c) rels.set(2, c, Relationship::P2C);
+  rels.set(2, 3, Relationship::P2C);
+  rels.set(3, 40, Relationship::P2C);
+
+  TierParams params;
+  params.tier1_min_cone = 10;
+  params.tier2_min_cone = 5;
+  const auto tiers = classify_tiers(rels, params);
+  EXPECT_EQ(tiers.at(1), Tier::Tier1);
+  EXPECT_EQ(tiers.at(2), Tier::Tier2);
+  EXPECT_EQ(tiers.at(3), Tier::Tier3);
+  EXPECT_EQ(tiers.at(10), Tier::Stub);
+  EXPECT_EQ(tiers.at(40), Tier::Stub);
+  EXPECT_STREQ(to_string(Tier::Tier1), "tier-1");
+}
+
+TEST(Tiers, SmallProviderFreeAsIsNotTier1) {
+  RelationshipMap rels;
+  rels.set(1, 2, Relationship::P2C);  // tiny "hierarchy"
+  const auto tiers = classify_tiers(rels);
+  EXPECT_NE(tiers.at(1), Tier::Tier1);  // cone of 1 is below the threshold
+  EXPECT_EQ(tiers.at(2), Tier::Stub);
+}
+
+}  // namespace
+}  // namespace htor

@@ -1,0 +1,147 @@
+// Failure-injection tests: the wire decoders (BGP messages, path attributes,
+// MRT records) must survive arbitrary truncation and byte corruption of
+// valid inputs — either parsing successfully or throwing DecodeError, never
+// crashing or looping.
+#include <gtest/gtest.h>
+
+#include "bgp/message.hpp"
+#include "gen/internet.hpp"
+#include "mrt/reader.hpp"
+#include "mrt/rib_view.hpp"
+#include "mrt/writer.hpp"
+#include "util/rng.hpp"
+
+namespace htor {
+namespace {
+
+std::vector<std::uint8_t> valid_update_bytes() {
+  bgp::PathAttributes attrs;
+  attrs.origin = bgp::Origin::Igp;
+  attrs.as_path = bgp::AsPath::sequence({64500, 3356, 1299});
+  attrs.local_pref = 120;
+  attrs.communities = {bgp::Community(3356, 100), bgp::Community(1299, 50)};
+  const auto update = bgp::make_ipv6_update(attrs, IpAddress::parse("2001:db8::1"),
+                                            {Prefix::parse("2001:db8:77::/48")});
+  return bgp::encode_message(update);
+}
+
+std::vector<std::uint8_t> valid_mrt_bytes() {
+  const auto net = gen::SyntheticInternet::generate(gen::small_params(17));
+  mrt::MrtWriter writer;
+  std::size_t written = 0;
+  for (const auto& rec : mrt::records_from_rib(net.collect(), 1, "rb", 0)) {
+    writer.write(rec);
+    if (++written >= 40) break;  // enough structure, small enough to sweep
+  }
+  return writer.take();
+}
+
+// Truncation at every possible length: parse or throw, never hang/crash.
+TEST(Robustness, BgpMessageTruncationSweep) {
+  const auto bytes = valid_update_bytes();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + static_cast<long>(len));
+    ByteReader r(cut);
+    EXPECT_THROW(bgp::decode_message(r), DecodeError) << "at length " << len;
+  }
+  // The untruncated message still parses.
+  ByteReader r(bytes);
+  EXPECT_NO_THROW(bgp::decode_message(r));
+}
+
+TEST(Robustness, MrtTruncationSweep) {
+  const auto bytes = valid_mrt_bytes();
+  // Sweep cut points across the first few records densely, then stride.
+  for (std::size_t len = 1; len < bytes.size(); len += (len < 4096 ? 7 : 997)) {
+    std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + static_cast<long>(len));
+    mrt::MrtReader reader(cut);
+    try {
+      while (reader.next()) {
+      }
+      // Clean EOF is acceptable when the cut fell on a record boundary.
+    } catch (const DecodeError&) {
+      // Expected for mid-record cuts.
+    }
+  }
+}
+
+// Single-byte corruption: every outcome must be a clean parse or DecodeError.
+class BgpCorruption : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BgpCorruption, SingleByteFlips) {
+  const auto original = valid_update_bytes();
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    auto bytes = original;
+    const std::size_t pos = rng.index(bytes.size());
+    bytes[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform(0, 7));
+    ByteReader r(bytes);
+    try {
+      const auto msg = bgp::decode_message(r);
+      (void)msg;  // a benign flip (e.g. inside an ASN) may still parse
+    } catch (const DecodeError&) {
+    } catch (const InvalidArgument&) {
+      // some flips hit semantic validation instead of framing
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BgpCorruption, ::testing::Values(1, 2, 3));
+
+class MrtCorruption : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MrtCorruption, SingleByteFlips) {
+  const auto original = valid_mrt_bytes();
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 120; ++trial) {
+    auto bytes = original;
+    const std::size_t pos = rng.index(bytes.size());
+    bytes[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform(0, 7));
+    mrt::MrtReader reader(bytes);
+    try {
+      std::size_t records = 0;
+      while (reader.next()) {
+        // Defensive bound: corruption must not manufacture unbounded output.
+        ASSERT_LT(++records, 100000u);
+      }
+    } catch (const DecodeError&) {
+    } catch (const InvalidArgument&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MrtCorruption, ::testing::Values(4, 5, 6));
+
+// The RIB join layer on top must show the same discipline.
+TEST(Robustness, RibJoinOnCorruptedDumps) {
+  const auto original = valid_mrt_bytes();
+  Rng rng(9);
+  for (int trial = 0; trial < 60; ++trial) {
+    auto bytes = original;
+    for (int flips = 0; flips < 4; ++flips) {
+      bytes[rng.index(bytes.size())] ^= static_cast<std::uint8_t>(rng.uniform(1, 255));
+    }
+    try {
+      const auto rib = mrt::rib_from_records(mrt::read_all(bytes));
+      (void)rib;
+    } catch (const DecodeError&) {
+    } catch (const InvalidArgument&) {
+    }
+  }
+}
+
+// Garbage from nothing: random byte soup must never parse as a full BGP
+// message stream without the all-ones marker.
+TEST(Robustness, RandomBytesRejected) {
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> bytes(64);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    bytes[0] = 0xfe;  // guarantee a broken marker
+    ByteReader r(bytes);
+    EXPECT_THROW(bgp::decode_message(r), DecodeError);
+  }
+}
+
+}  // namespace
+}  // namespace htor

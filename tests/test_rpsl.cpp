@@ -1,0 +1,201 @@
+// Unit tests for the RPSL parser and the community-documentation miner,
+// including a parameterized phrase corpus covering the dialects the
+// synthetic IRR emits (and a few real-world-style variants).
+#include <gtest/gtest.h>
+
+#include "rpsl/community_dict.hpp"
+#include "rpsl/object.hpp"
+
+namespace htor::rpsl {
+namespace {
+
+TEST(RpslParser, BasicObject) {
+  const auto objects = parse_objects(
+      "aut-num:  AS64500\n"
+      "as-name:  TEST\n"
+      "remarks:  hello\n"
+      "source:   TESTDB\n");
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].class_name(), "aut-num");
+  EXPECT_EQ(objects[0].get("as-name"), "TEST");
+  EXPECT_EQ(objects[0].autnum(), Asn{64500});
+}
+
+TEST(RpslParser, MultipleObjectsAndComments) {
+  const auto objects = parse_objects(
+      "% whois comment\n"
+      "aut-num: AS1\n"
+      "\n"
+      "# another comment\n"
+      "route6: 2001:db8::/32\n"
+      "origin: AS1\n"
+      "\n\n"
+      "aut-num: AS2\n");
+  ASSERT_EQ(objects.size(), 3u);
+  EXPECT_EQ(objects[0].class_name(), "aut-num");
+  EXPECT_EQ(objects[1].class_name(), "route6");
+  EXPECT_FALSE(objects[1].autnum().has_value());
+  EXPECT_EQ(objects[2].autnum(), Asn{2});
+}
+
+TEST(RpslParser, ContinuationLines) {
+  const auto objects = parse_objects(
+      "aut-num: AS7\n"
+      "remarks: first line\n"
+      "         second line\n"
+      "+third line\n");
+  ASSERT_EQ(objects.size(), 1u);
+  const auto remarks = objects[0].all("remarks");
+  ASSERT_EQ(remarks.size(), 1u);
+  EXPECT_EQ(remarks[0], "first line\nsecond line\nthird line");
+}
+
+TEST(RpslParser, RepeatedAttributes) {
+  const auto objects = parse_objects(
+      "aut-num: AS7\n"
+      "remarks: a\n"
+      "remarks: b\n");
+  EXPECT_EQ(objects[0].all("remarks").size(), 2u);
+  EXPECT_EQ(objects[0].get("remarks"), "a");  // first value
+}
+
+TEST(RpslParser, KeysAreLowercasedAndMalformedLinesSkipped) {
+  const auto objects = parse_objects(
+      "AUT-NUM: AS9\n"
+      "garbage line without colon\n"
+      "Mnt-By: M\n");
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].autnum(), Asn{9});
+  EXPECT_TRUE(objects[0].get("mnt-by").has_value());
+}
+
+TEST(RpslParser, BadAutnums) {
+  EXPECT_FALSE(parse_objects("aut-num: 64500\n")[0].autnum().has_value());
+  EXPECT_FALSE(parse_objects("aut-num: ASX\n")[0].autnum().has_value());
+  EXPECT_FALSE(parse_objects("aut-num: AS\n")[0].autnum().has_value());
+}
+
+// --- remark interpretation ------------------------------------------------
+
+struct PhraseCase {
+  const char* line;
+  CommunityTagKind kind;
+  std::uint32_t locpref;
+};
+
+class RemarkPhrases : public ::testing::TestWithParam<PhraseCase> {};
+
+TEST_P(RemarkPhrases, Classified) {
+  const auto& c = GetParam();
+  bgp::Community community;
+  CommunityMeaning meaning;
+  ASSERT_TRUE(interpret_remark_line(c.line, community, meaning)) << c.line;
+  EXPECT_EQ(meaning.kind, c.kind) << c.line;
+  if (c.kind == CommunityTagKind::SetLocPref) {
+    EXPECT_EQ(meaning.locpref, c.locpref) << c.line;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RemarkPhrases,
+    ::testing::Values(
+        PhraseCase{"64500:100 routes learned from customers", CommunityTagKind::FromCustomer, 0},
+        PhraseCase{"64500:100 customer routes", CommunityTagKind::FromCustomer, 0},
+        PhraseCase{"64500:100 received from customer", CommunityTagKind::FromCustomer, 0},
+        PhraseCase{"64500:200 routes learned from peers", CommunityTagKind::FromPeer, 0},
+        PhraseCase{"64500:200 peer routes received at public peering", CommunityTagKind::FromPeer,
+                   0},
+        PhraseCase{"64500:200 received from peering partner", CommunityTagKind::FromPeer, 0},
+        PhraseCase{"64500:300 routes learned from upstream providers",
+                   CommunityTagKind::FromProvider, 0},
+        PhraseCase{"64500:300 transit provider routes", CommunityTagKind::FromProvider, 0},
+        PhraseCase{"64500:300 received from upstream transit", CommunityTagKind::FromProvider, 0},
+        PhraseCase{"64500:400 routes from sibling ASes", CommunityTagKind::FromSibling, 0},
+        PhraseCase{"64500:400 internal routes of our backbone", CommunityTagKind::FromSibling, 0},
+        PhraseCase{"64500:70 set local-pref to 70 (backup)", CommunityTagKind::SetLocPref, 70},
+        PhraseCase{"64500:900 sets local preference to 250", CommunityTagKind::SetLocPref, 250},
+        PhraseCase{"64500:50 local-pref 50 applied on ingress", CommunityTagKind::SetLocPref, 50},
+        PhraseCase{"64500:7001 prepend once towards peers", CommunityTagKind::Prepend, 0},
+        PhraseCase{"64500:7002 prepend 3x towards upstreams", CommunityTagKind::Prepend, 0},
+        PhraseCase{"64500:666 blackhole / RTBH", CommunityTagKind::Blackhole, 0},
+        PhraseCase{"64500:0 do not announce to peers", CommunityTagKind::NoExportTo, 0},
+        PhraseCase{"64500:5001 route originated in city-3", CommunityTagKind::GeoTag, 0},
+        PhraseCase{"64500:6001 received in region 2", CommunityTagKind::GeoTag, 0},
+        PhraseCase{"64500:65301 PoP 4 ingress", CommunityTagKind::GeoTag, 0},
+        PhraseCase{"64500:999 type A routes", CommunityTagKind::Other, 0}));
+
+TEST(RemarkInterpretation, TePhrasingBeatsRelationshipWords) {
+  // "set local-pref for peer routes" must not be read as a peer ingress tag.
+  bgp::Community c;
+  CommunityMeaning m;
+  ASSERT_TRUE(interpret_remark_line("64500:80 set local-pref 80 for peer routes", c, m));
+  EXPECT_EQ(m.kind, CommunityTagKind::SetLocPref);
+  EXPECT_EQ(m.locpref, 80u);
+}
+
+TEST(RemarkInterpretation, NonCommunityLinesIgnored) {
+  bgp::Community c;
+  CommunityMeaning m;
+  EXPECT_FALSE(interpret_remark_line("===== BGP communities =====", c, m));
+  EXPECT_FALSE(interpret_remark_line("", c, m));
+  EXPECT_FALSE(interpret_remark_line("contact noc@example.net", c, m));
+}
+
+TEST(Dictionary, MiningAndLookups) {
+  const auto objects = parse_objects(
+      "aut-num: AS64500\n"
+      "remarks: 64500:100 routes learned from customers\n"
+      "remarks: 64500:200 routes learned from peers\n"
+      "remarks: 64500:70  set local-pref to 70\n"
+      "\n"
+      "aut-num: AS64501\n"
+      "remarks: 64501:100 received from upstream transit\n"
+      "\n"
+      "route6: 2001:db8::/32\n"
+      "remarks: 9:9 routes learned from customers\n");  // not an aut-num: ignored
+  const auto dict = mine_dictionary(objects);
+  EXPECT_EQ(dict.size(), 4u);
+  ASSERT_NE(dict.lookup(bgp::Community(64500, 100)), nullptr);
+  EXPECT_EQ(dict.lookup(bgp::Community(64500, 100))->kind, CommunityTagKind::FromCustomer);
+  EXPECT_EQ(dict.lookup(bgp::Community(64501, 100))->kind, CommunityTagKind::FromProvider);
+  EXPECT_EQ(dict.lookup(bgp::Community(9, 9)), nullptr);
+  EXPECT_EQ(dict.lookup(bgp::Community(64500, 9999)), nullptr);
+  EXPECT_EQ(dict.documented_asns().size(), 2u);
+}
+
+TEST(Dictionary, RelationshipOfMapping) {
+  EXPECT_EQ(relationship_of(CommunityTagKind::FromCustomer), Relationship::P2C);
+  EXPECT_EQ(relationship_of(CommunityTagKind::FromPeer), Relationship::P2P);
+  EXPECT_EQ(relationship_of(CommunityTagKind::FromProvider), Relationship::C2P);
+  EXPECT_EQ(relationship_of(CommunityTagKind::FromSibling), Relationship::S2S);
+  EXPECT_THROW(relationship_of(CommunityTagKind::Prepend), InvalidArgument);
+}
+
+TEST(Dictionary, ConflictKeepsFirstMeaning) {
+  CommunityDictionary dict;
+  dict.add(bgp::Community(1, 1), {CommunityTagKind::FromCustomer, 0});
+  dict.add(bgp::Community(1, 1), {CommunityTagKind::FromPeer, 0});
+  EXPECT_EQ(dict.size(), 1u);
+  EXPECT_EQ(dict.conflicts(), 1u);
+  EXPECT_EQ(dict.lookup(bgp::Community(1, 1))->kind, CommunityTagKind::FromCustomer);
+  // Identical re-registration is not a conflict.
+  dict.add(bgp::Community(1, 1), {CommunityTagKind::FromCustomer, 0});
+  EXPECT_EQ(dict.conflicts(), 1u);
+}
+
+TEST(Dictionary, KindHistogramAndTagClasses) {
+  CommunityDictionary dict;
+  dict.add(bgp::Community(1, 1), {CommunityTagKind::FromCustomer, 0});
+  dict.add(bgp::Community(1, 2), {CommunityTagKind::SetLocPref, 80});
+  const auto hist = dict.kind_histogram();
+  EXPECT_EQ(hist.at(CommunityTagKind::FromCustomer), 1u);
+  EXPECT_EQ(hist.at(CommunityTagKind::SetLocPref), 1u);
+  EXPECT_TRUE(is_relationship_tag(CommunityTagKind::FromSibling));
+  EXPECT_FALSE(is_relationship_tag(CommunityTagKind::GeoTag));
+  EXPECT_TRUE(is_te_tag(CommunityTagKind::SetLocPref));
+  EXPECT_TRUE(is_te_tag(CommunityTagKind::Prepend));
+  EXPECT_FALSE(is_te_tag(CommunityTagKind::FromPeer));
+}
+
+}  // namespace
+}  // namespace htor::rpsl

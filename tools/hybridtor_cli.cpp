@@ -1,0 +1,173 @@
+// hybridtor — command-line front end for the library.
+//
+// Subcommands:
+//   generate <outdir> [seed]   generate the synthetic Internet and write
+//                              rib.mrt (TABLE_DUMP_V2), irr.txt (RPSL) and
+//                              truth.csv (planted ground truth) into outdir
+//   census  <rib.mrt> <irr.txt>
+//                              run the paper's full census on on-disk data
+//                              (works on real RouteViews TABLE_DUMP_V2 files
+//                              plus any IRR text dump)
+//   inspect <rib.mrt>          per-record summary of an MRT file
+//
+// The census subcommand is the adoption path for real data: it consumes
+// nothing but the two files.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/census_report.hpp"
+#include "gen/internet.hpp"
+#include "mrt/reader.hpp"
+#include "mrt/writer.hpp"
+#include "rpsl/object.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace htor;
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  hybridtor generate <outdir> [seed]\n"
+               "  hybridtor census <rib.mrt> <irr.txt>\n"
+               "  hybridtor inspect <rib.mrt>\n";
+  return 2;
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+int cmd_generate(const std::string& outdir, std::uint64_t seed) {
+  gen::GenParams params;
+  params.seed = seed;
+  std::cout << "generating (seed " << seed << ", " << params.total_ases() << " ASes)...\n";
+  const auto net = gen::SyntheticInternet::generate(params);
+
+  mrt::MrtWriter writer;
+  for (const auto& record :
+       mrt::records_from_rib(net.collect(), 0x0a0a0a0au, "hybridtor", 1281052800u)) {
+    writer.write(record);
+  }
+  writer.save(outdir + "/rib.mrt");
+  std::cout << "wrote " << outdir << "/rib.mrt (" << writer.data().size() << " bytes)\n";
+
+  std::ofstream irr(outdir + "/irr.txt");
+  if (!irr) throw Error("cannot write " + outdir + "/irr.txt");
+  irr << net.irr_dump();
+  std::cout << "wrote " << outdir << "/irr.txt\n";
+
+  std::ofstream truth(outdir + "/truth.csv");
+  truth << "as_a,as_b,rel_v4,rel_v6,hybrid\n";
+  net.graph().for_each_link(IpVersion::V4, [&](const LinkKey& key) {
+    const auto r4 = net.truth(IpVersion::V4).get(key.first, key.second);
+    const auto r6 = net.truth(IpVersion::V6).get(key.first, key.second);
+    truth << key.first << ',' << key.second << ',' << to_string(r4) << ',' << to_string(r6)
+          << ',' << (r6 != Relationship::Unknown && r4 != r6 ? 1 : 0) << '\n';
+  });
+  std::cout << "wrote " << outdir << "/truth.csv\n";
+  return 0;
+}
+
+int cmd_census(const std::string& mrt_path, const std::string& irr_path) {
+  const auto data = mrt::load_file(mrt_path);
+  const auto rib = mrt::rib_from_records(mrt::read_all(data));
+  const auto dict = rpsl::mine_dictionary(rpsl::parse_objects(read_text_file(irr_path)));
+  std::cout << mrt_path << ": " << rib.size() << " routes ("
+            << rib.size_of(IpVersion::V6) << " IPv6); dictionary: " << dict.size()
+            << " communities from " << dict.documented_asns().size() << " ASes\n\n";
+
+  const auto census = core::run_census(rib, dict);
+
+  Table t({"metric", "value"});
+  t.row({"IPv6 AS paths", std::to_string(census.v6_paths)});
+  t.row({"IPv6 AS links", std::to_string(census.v6_links)});
+  t.row({"IPv6 links with relationship",
+         fmt_pct(census.v6_coverage.covered_links, census.v6_coverage.observed_links)});
+  t.row({"dual-stack links", std::to_string(census.dual_links)});
+  t.row({"dual-stack typed in both planes", std::to_string(census.dual_coverage.covered_links)});
+  t.row({"hybrid links", std::to_string(census.hybrids.hybrids.size()) + " (" +
+                             fmt_pct(census.hybrids.hybrids.size(),
+                                     census.hybrids.dual_links_both_known) +
+                             " of typed duals)"});
+  t.row({"  p2p(v4)/transit(v6)", std::to_string(census.hybrids.peer_v4_transit_v6)});
+  t.row({"  transit(v4)/p2p(v6)", std::to_string(census.hybrids.transit_v4_peer_v6)});
+  t.row({"  reversals", std::to_string(census.hybrids.reversals)});
+  t.row({"IPv6 paths crossing a hybrid",
+         fmt_pct(census.hybrids.v6_paths_with_hybrid, census.hybrids.v6_paths_total)});
+  t.row({"IPv6 valley paths",
+         fmt_pct(census.v6_valleys.valley, census.v6_valleys.paths)});
+  t.row({"  reachability-required",
+         fmt_pct(census.v6_valleys.necessary_valleys, census.v6_valleys.classified_valleys)});
+  t.print(std::cout);
+
+  if (!census.hybrids.hybrids.empty()) {
+    std::cout << "\ntop hybrid links by IPv6 path visibility:\n";
+    Table top({"link", "v4", "v6", "paths"});
+    for (std::size_t i = 0; i < census.hybrids.hybrids.size() && i < 10; ++i) {
+      const auto& f = census.hybrids.hybrids[i];
+      top.row({"AS" + std::to_string(f.link.first) + "-AS" + std::to_string(f.link.second),
+               to_string(f.rel_v4), to_string(f.rel_v6),
+               std::to_string(f.v6_path_visibility)});
+    }
+    top.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_inspect(const std::string& mrt_path) {
+  const auto data = mrt::load_file(mrt_path);
+  const auto records = mrt::read_all(data);
+  std::size_t pit = 0;
+  std::size_t rib4 = 0;
+  std::size_t rib6 = 0;
+  std::size_t bgp4mp = 0;
+  std::size_t raw = 0;
+  std::size_t entries = 0;
+  for (const auto& record : records) {
+    if (std::holds_alternative<mrt::PeerIndexTable>(record.body)) {
+      ++pit;
+    } else if (const auto* r = std::get_if<mrt::RibPrefixRecord>(&record.body)) {
+      (r->prefix.version() == IpVersion::V4 ? rib4 : rib6) += 1;
+      entries += r->entries.size();
+    } else if (std::holds_alternative<mrt::Bgp4mpMessage>(record.body)) {
+      ++bgp4mp;
+    } else {
+      ++raw;
+    }
+  }
+  std::cout << mrt_path << ": " << data.size() << " bytes, " << records.size() << " records\n"
+            << "  PEER_INDEX_TABLE: " << pit << "\n"
+            << "  RIB_IPV4_UNICAST: " << rib4 << "\n"
+            << "  RIB_IPV6_UNICAST: " << rib6 << "\n"
+            << "  BGP4MP:           " << bgp4mp << "\n"
+            << "  other/raw:        " << raw << "\n"
+            << "  RIB entries:      " << entries << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "generate" && argc >= 3) {
+      const std::uint64_t seed = argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 42;
+      return cmd_generate(argv[2], seed);
+    }
+    if (cmd == "census" && argc == 4) return cmd_census(argv[2], argv[3]);
+    if (cmd == "inspect" && argc == 3) return cmd_inspect(argv[2]);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
