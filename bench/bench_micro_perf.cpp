@@ -13,6 +13,7 @@
 #include "rpsl/object.hpp"
 #include "topology/reachability.hpp"
 #include "topology/valley.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -87,6 +88,36 @@ void BM_CommunityInference(benchmark::State& state) {
   state.counters["routes"] = static_cast<double>(routes.size());
 }
 BENCHMARK(BM_CommunityInference);
+
+// The inference stage of the census (both families, communities + Rosetta)
+// with the route scans sharded over a pool — Arg is the job count, so the
+// speedup over /1 is the parallelization win on this machine.
+void BM_InferRelationships(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool(jobs);
+  core::InferenceConfig config;
+  config.threads = jobs;
+  for (auto _ : state) {
+    auto result = core::infer_relationships(bits().rib, bits().dict, config, pool);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["routes"] = static_cast<double>(bits().rib.size());
+  state.counters["jobs"] = static_cast<double>(jobs);
+}
+BENCHMARK(BM_InferRelationships)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Full census (path stores, inference, hybrids, valley census) across job
+// counts; reports are byte-identical, only wall time changes.
+void BM_RunCensus(benchmark::State& state) {
+  core::InferenceConfig config;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto report = core::run_census(bits().rib, bits().dict, config);
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["jobs"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RunCensus)->Arg(1)->Arg(4)->UseRealTime();
 
 void BM_ValleyCheck(benchmark::State& state) {
   const auto& rels = bits().rels;

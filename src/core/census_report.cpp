@@ -1,24 +1,32 @@
 #include "core/census_report.hpp"
 
+#include "util/thread_pool.hpp"
+
 namespace htor::core {
 
 CensusReport run_census(const mrt::ObservedRib& rib, const rpsl::CommunityDictionary& dict,
                         const InferenceConfig& config) {
+  ThreadPool pool(config.threads);
+  return run_census(rib, dict, config, pool);
+}
+
+CensusReport run_census(const mrt::ObservedRib& rib, const rpsl::CommunityDictionary& dict,
+                        const InferenceConfig& config, ThreadPool& pool) {
   CensusReport report;
 
-  report.v4_path_store = paths_of(rib, IpVersion::V4);
-  report.v6_path_store = paths_of(rib, IpVersion::V6);
+  report.v4_path_store = paths_of(rib, IpVersion::V4, pool);
+  report.v6_path_store = paths_of(rib, IpVersion::V6, pool);
   report.v4_paths = report.v4_path_store.unique_paths();
   report.v6_paths = report.v6_path_store.unique_paths();
 
   const auto v4_links = report.v4_path_store.links();
   const auto v6_links = report.v6_path_store.links();
-  const auto duals = dual_stack_links(report.v4_path_store, report.v6_path_store);
+  const auto duals = dual_stack_links(v4_links, v6_links, pool);
   report.v4_links = v4_links.size();
   report.v6_links = v6_links.size();
   report.dual_links = duals.size();
 
-  report.inferred = infer_relationships(rib, dict, config);
+  report.inferred = infer_relationships(rib, dict, config, pool);
   report.v4_coverage = coverage(v4_links, report.inferred.v4);
   report.v6_coverage = coverage(v6_links, report.inferred.v6);
 
@@ -37,8 +45,8 @@ CensusReport run_census(const mrt::ObservedRib& rib, const rpsl::CommunityDictio
   report.hybrids = detect_hybrids(duals, report.inferred.v4, report.inferred.v6,
                                   report.v6_path_store, &tiers);
 
-  report.v6_valleys = census_valleys(report.v6_path_store, report.inferred.v6);
-  report.v4_valleys = census_valleys(report.v4_path_store, report.inferred.v4);
+  report.v6_valleys = census_valleys(report.v6_path_store, report.inferred.v6, pool);
+  report.v4_valleys = census_valleys(report.v4_path_store, report.inferred.v4, pool);
   return report;
 }
 

@@ -41,4 +41,9 @@ struct CensusReport {
 CensusReport run_census(const mrt::ObservedRib& rib, const rpsl::CommunityDictionary& dict,
                         const InferenceConfig& config = {});
 
+/// Same census on the caller's pool (config.threads is ignored; the pool's
+/// size decides the parallelism).
+CensusReport run_census(const mrt::ObservedRib& rib, const rpsl::CommunityDictionary& dict,
+                        const InferenceConfig& config, ThreadPool& pool);
+
 }  // namespace htor::core

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "core/parallel.hpp"
+
 namespace htor::core {
 
 namespace {
@@ -14,10 +16,6 @@ std::vector<Asn> collapse(const std::vector<Asn>& path) {
   }
   return out;
 }
-
-/// Votes per canonical link, indexed by the canonical relationship
-/// (rel(key.first -> key.second)) as P2C/C2P/P2P/S2S.
-using VoteArray = std::array<std::uint32_t, 4>;
 
 std::size_t rel_index(Relationship rel) {
   switch (rel) {
@@ -42,14 +40,22 @@ Relationship rel_from_index(std::size_t i) {
 
 }  // namespace
 
-CommunityInferenceResult infer_from_communities(
-    const std::vector<const mrt::ObservedRoute*>& routes,
-    const rpsl::CommunityDictionary& dict, const CommunityInferenceParams& params) {
-  CommunityInferenceResult result;
-  std::unordered_map<LinkKey, VoteArray, LinkKeyHash> votes;
+void CommunityVotes::merge(const CommunityVotes& other) {
+  for (const auto& [key, vote] : other.votes) {
+    auto& mine = votes[key];
+    for (std::size_t i = 0; i < mine.size(); ++i) mine[i] += vote[i];
+  }
+  tagged_routes += other.tagged_routes;
+  total_votes += other.total_votes;
+}
 
+CommunityVotes scan_community_votes(const std::vector<const mrt::ObservedRoute*>& routes,
+                                    std::size_t begin, std::size_t end,
+                                    const rpsl::CommunityDictionary& dict) {
+  CommunityVotes out;
   std::unordered_map<Asn, std::size_t> position;  // reused per route
-  for (const mrt::ObservedRoute* route : routes) {
+  for (std::size_t r = begin; r < end && r < routes.size(); ++r) {
+    const mrt::ObservedRoute* route = routes[r];
     const std::vector<Asn> chain = collapse(route->as_path);
     if (chain.size() < 2) continue;
 
@@ -73,15 +79,22 @@ CommunityInferenceResult infer_from_communities(
       const Relationship canonical = key.first == tagger ? rel : reverse(rel);
       const std::size_t idx = rel_index(canonical);
       if (idx >= 4) continue;
-      ++votes[key][idx];
-      ++result.total_votes;
+      ++out.votes[key][idx];
+      ++out.total_votes;
       contributed = true;
     }
-    if (contributed) ++result.tagged_routes;
+    if (contributed) ++out.tagged_routes;
   }
+  return out;
+}
 
-  result.links_with_votes = votes.size();
-  for (const auto& [key, vote] : votes) {
+CommunityInferenceResult tally_community_votes(const CommunityVotes& votes,
+                                               const CommunityInferenceParams& params) {
+  CommunityInferenceResult result;
+  result.tagged_routes = votes.tagged_routes;
+  result.total_votes = votes.total_votes;
+  result.links_with_votes = votes.votes.size();
+  for (const auto& [key, vote] : votes.votes) {
     std::uint64_t total = 0;
     std::size_t best = 0;
     for (std::size_t i = 0; i < 4; ++i) {
@@ -96,6 +109,26 @@ CommunityInferenceResult infer_from_communities(
     result.rels.set(key.first, key.second, rel_from_index(best));
   }
   return result;
+}
+
+CommunityInferenceResult infer_from_communities(
+    const std::vector<const mrt::ObservedRoute*>& routes,
+    const rpsl::CommunityDictionary& dict, const CommunityInferenceParams& params) {
+  return tally_community_votes(scan_community_votes(routes, 0, routes.size(), dict), params);
+}
+
+CommunityInferenceResult infer_from_communities(
+    const std::vector<const mrt::ObservedRoute*>& routes,
+    const rpsl::CommunityDictionary& dict, const CommunityInferenceParams& params,
+    ThreadPool& pool) {
+  CommunityVotes merged = shard_map_reduce(
+      pool, routes.size(),
+      [&routes, &dict](const ShardRange& range) {
+        return scan_community_votes(routes, range.begin, range.end, dict);
+      },
+      CommunityVotes{},
+      [](CommunityVotes& acc, CommunityVotes&& shard) { acc.merge(shard); });
+  return tally_community_votes(merged, params);
 }
 
 }  // namespace htor::core

@@ -11,11 +11,13 @@
 
 #include <array>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "mrt/rib_view.hpp"
 #include "rpsl/community_dict.hpp"
 #include "topology/relationship.hpp"
+#include "util/thread_pool.hpp"
 
 namespace htor::core {
 
@@ -35,9 +37,38 @@ struct CommunityInferenceResult {
   std::uint64_t total_votes = 0;
 };
 
+/// Raw vote state produced by scanning a batch of routes.  Scans over
+/// disjoint route shards merge commutatively (per-link counts add), which is
+/// what lets the per-route scan run sharded on a thread pool.
+struct CommunityVotes {
+  /// Votes per canonical link, indexed P2C/C2P/P2P/S2S.
+  std::unordered_map<LinkKey, std::array<std::uint32_t, 4>, LinkKeyHash> votes;
+  std::uint64_t tagged_routes = 0;
+  std::uint64_t total_votes = 0;
+
+  void merge(const CommunityVotes& other);
+};
+
+/// Scan routes[begin, end) for localizable relationship tags.
+CommunityVotes scan_community_votes(const std::vector<const mrt::ObservedRoute*>& routes,
+                                    std::size_t begin, std::size_t end,
+                                    const rpsl::CommunityDictionary& dict);
+
+/// Majority-type every voted link.  Depends only on the merged vote totals,
+/// so the sharding that produced them cannot change the outcome.
+CommunityInferenceResult tally_community_votes(const CommunityVotes& votes,
+                                               const CommunityInferenceParams& params = {});
+
 /// Infer relationships for one address family's routes.
 CommunityInferenceResult infer_from_communities(
     const std::vector<const mrt::ObservedRoute*>& routes,
     const rpsl::CommunityDictionary& dict, const CommunityInferenceParams& params = {});
+
+/// Same inference with the route scan sharded on `pool` (deterministic:
+/// identical to the sequential overload for any pool size).
+CommunityInferenceResult infer_from_communities(
+    const std::vector<const mrt::ObservedRoute*>& routes,
+    const rpsl::CommunityDictionary& dict, const CommunityInferenceParams& params,
+    ThreadPool& pool);
 
 }  // namespace htor::core

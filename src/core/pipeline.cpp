@@ -2,23 +2,93 @@
 
 #include <unordered_set>
 
+#include "core/parallel.hpp"
+
 namespace htor::core {
+
+namespace {
+
+/// Merge every shard future in order; on failure keep draining (the tasks
+/// reference caller-owned route lists) and rethrow the first error.
+CommunityVotes collect_votes(std::vector<std::future<CommunityVotes>>& futures,
+                             std::exception_ptr& first_error) {
+  CommunityVotes merged;
+  for (auto& future : futures) {
+    try {
+      merged.merge(future.get());
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  return merged;
+}
+
+}  // namespace
 
 InferredRelationships infer_relationships(const mrt::ObservedRib& rib,
                                           const rpsl::CommunityDictionary& dict,
                                           const InferenceConfig& config) {
+  ThreadPool pool(config.threads);
+  return infer_relationships(rib, dict, config, pool);
+}
+
+InferredRelationships infer_relationships(const mrt::ObservedRib& rib,
+                                          const rpsl::CommunityDictionary& dict,
+                                          const InferenceConfig& config, ThreadPool& pool) {
   InferredRelationships out;
+  const auto v4_routes = rib.routes_of(IpVersion::V4);
+  const auto v6_routes = rib.routes_of(IpVersion::V6);
 
-  for (IpVersion af : {IpVersion::V4, IpVersion::V6}) {
-    const auto routes = rib.routes_of(af);
-    auto& community = af == IpVersion::V4 ? out.community_v4 : out.community_v6;
-    auto& rosetta = af == IpVersion::V4 ? out.rosetta_v4 : out.rosetta_v6;
-    auto& rels = af == IpVersion::V4 ? out.v4 : out.v6;
+  // Phase 1: the per-route community scans of BOTH families are submitted
+  // before either is collected, so their shards interleave on the pool.
+  // Shard count is fixed (kCensusShards) and merges run in shard order, so
+  // any --jobs value reproduces the same vote state bit for bit.
+  auto submit_scans = [&pool, &dict](const std::vector<const mrt::ObservedRoute*>& routes) {
+    std::vector<std::future<CommunityVotes>> futures;
+    for (const ShardRange& range : shard_ranges(routes.size())) {
+      futures.push_back(pool.submit([&routes, &dict, range] {
+        return scan_community_votes(routes, range.begin, range.end, dict);
+      }));
+    }
+    return futures;
+  };
+  auto v4_futures = submit_scans(v4_routes);
+  auto v6_futures = submit_scans(v6_routes);
 
-    community = infer_from_communities(routes, dict, config.community);
-    rels = community.rels;
-    if (config.use_rosetta) {
-      rosetta = run_rosetta(routes, dict, rels, config.rosetta);
+  std::exception_ptr first_error;
+  const CommunityVotes v4_votes = collect_votes(v4_futures, first_error);
+  const CommunityVotes v6_votes = collect_votes(v6_futures, first_error);
+  if (first_error) std::rethrow_exception(first_error);
+
+  out.community_v4 = tally_community_votes(v4_votes, config.community);
+  out.community_v6 = tally_community_votes(v6_votes, config.community);
+  out.v4 = out.community_v4.rels;
+  out.v6 = out.community_v6.rels;
+
+  // Phase 2: one Rosetta pass per family, two independent pool tasks (each
+  // reads only its own family's routes and community map).
+  if (config.use_rosetta) {
+    auto v4_rosetta = pool.submit(
+        [&] { return run_rosetta(v4_routes, dict, out.v4, config.rosetta); });
+    auto v6_rosetta = pool.submit(
+        [&] { return run_rosetta(v6_routes, dict, out.v6, config.rosetta); });
+    try {
+      out.rosetta_v4 = v4_rosetta.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+    try {
+      out.rosetta_v6 = v6_rosetta.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+    if (first_error) std::rethrow_exception(first_error);
+
+    // Deterministic merge: Rosetta fills only links communities left
+    // Unknown, applied v4 first, then v6.
+    for (IpVersion af : {IpVersion::V4, IpVersion::V6}) {
+      auto& rels = af == IpVersion::V4 ? out.v4 : out.v6;
+      const auto& rosetta = af == IpVersion::V4 ? out.rosetta_v4 : out.rosetta_v6;
       rosetta.first_hop_rels.for_each([&rels](const LinkKey& key, Relationship rel) {
         if (rels.get(key.first, key.second) == Relationship::Unknown) {
           rels.set(key.first, key.second, rel);
@@ -37,6 +107,20 @@ PathStore paths_of(const mrt::ObservedRib& rib, IpVersion af) {
   return store;
 }
 
+PathStore paths_of(const mrt::ObservedRib& rib, IpVersion af, ThreadPool& pool) {
+  const auto& routes = rib.routes();
+  return shard_map_reduce(
+      pool, routes.size(),
+      [&routes, af](const ShardRange& range) {
+        PathStore shard;
+        for (std::size_t i = range.begin; i < range.end; ++i) {
+          if (routes[i].af == af) shard.add(routes[i].as_path);
+        }
+        return shard;
+      },
+      PathStore{}, [](PathStore& acc, PathStore&& shard) { acc.merge(shard); });
+}
+
 CoverageStats coverage(const std::vector<LinkKey>& links, const RelationshipMap& rels) {
   CoverageStats stats;
   stats.observed_links = links.size();
@@ -53,6 +137,26 @@ std::vector<LinkKey> dual_stack_links(const PathStore& v4_paths, const PathStore
   for (const LinkKey& key : v6_paths.links()) {
     if (v4_set.count(key)) out.push_back(key);
   }
+  return out;
+}
+
+std::vector<LinkKey> dual_stack_links(const PathStore& v4_paths, const PathStore& v6_paths,
+                                      ThreadPool& pool) {
+  return dual_stack_links(v4_paths.links(), v6_paths.links(), pool);
+}
+
+std::vector<LinkKey> dual_stack_links(const std::vector<LinkKey>& v4_links,
+                                      const std::vector<LinkKey>& v6_links, ThreadPool& pool) {
+  const std::unordered_set<LinkKey, LinkKeyHash> v4_set(v4_links.begin(), v4_links.end());
+  const auto shards = shard_map(pool, v6_links.size(), [&](const ShardRange& range) {
+    std::vector<LinkKey> hits;
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      if (v4_set.count(v6_links[i])) hits.push_back(v6_links[i]);
+    }
+    return hits;
+  });
+  std::vector<LinkKey> out;
+  for (const auto& shard : shards) out.insert(out.end(), shard.begin(), shard.end());
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include "core/rosetta.hpp"
 #include "mrt/rib_view.hpp"
 #include "topology/path_store.hpp"
+#include "util/thread_pool.hpp"
 
 namespace htor::core {
 
@@ -13,6 +14,10 @@ struct InferenceConfig {
   CommunityInferenceParams community;
   RosettaParams rosetta;
   bool use_rosetta = true;
+  /// Worker jobs for the census hot paths (ThreadPool semantics: 0 = one
+  /// per hardware thread, 1 = inline/sequential).  Any value produces
+  /// byte-identical results; see core/parallel.hpp.
+  std::size_t threads = 1;
 };
 
 struct CoverageStats {
@@ -36,18 +41,40 @@ struct InferredRelationships {
   RosettaResult rosetta_v6;
 };
 
-/// Run the full inference over a collector RIB.
+/// Run the full inference over a collector RIB.  Creates its own pool from
+/// `config.threads`.
 InferredRelationships infer_relationships(const mrt::ObservedRib& rib,
                                           const rpsl::CommunityDictionary& dict,
                                           const InferenceConfig& config = {});
 
+/// Same, sharing the caller's pool (the per-route community scans of both
+/// address families are in flight together, then the two Rosetta passes run
+/// as one pool task per family).
+InferredRelationships infer_relationships(const mrt::ObservedRib& rib,
+                                          const rpsl::CommunityDictionary& dict,
+                                          const InferenceConfig& config, ThreadPool& pool);
+
 /// Distinct AS paths of one family, as a PathStore.
 PathStore paths_of(const mrt::ObservedRib& rib, IpVersion af);
+
+/// Sharded variant: per-route extraction runs on `pool`, shards merge in
+/// shard order (deterministic for any pool size).
+PathStore paths_of(const mrt::ObservedRib& rib, IpVersion af, ThreadPool& pool);
 
 /// How many of `links` the map can type.
 CoverageStats coverage(const std::vector<LinkKey>& links, const RelationshipMap& rels);
 
 /// Links observed in both families (intersection of the two path link sets).
 std::vector<LinkKey> dual_stack_links(const PathStore& v4_paths, const PathStore& v6_paths);
+
+/// Sharded variant of the intersection scan; output order matches the
+/// sequential overload exactly.
+std::vector<LinkKey> dual_stack_links(const PathStore& v4_paths, const PathStore& v6_paths,
+                                      ThreadPool& pool);
+
+/// Same intersection over already-extracted link vectors (callers that hold
+/// PathStore::links() results avoid re-extracting and re-sorting them).
+std::vector<LinkKey> dual_stack_links(const std::vector<LinkKey>& v4_links,
+                                      const std::vector<LinkKey>& v6_links, ThreadPool& pool);
 
 }  // namespace htor::core

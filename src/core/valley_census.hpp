@@ -8,6 +8,7 @@
 
 #include "topology/path_store.hpp"
 #include "topology/relationship.hpp"
+#include "util/thread_pool.hpp"
 
 namespace htor::core {
 
@@ -34,6 +35,13 @@ struct ValleyCensus {
 /// runs valley-free reachability over the link set of `rels` itself (the
 /// best topology knowledge available to the measurement, as in the paper).
 ValleyCensus census_valleys(const PathStore& paths, const RelationshipMap& rels);
+
+/// Sharded variant: path classification shards on `pool`, and the
+/// valley-free BFS runs one pool task per distinct vantage source.  Counters
+/// are additive, so the result equals the sequential overload for any pool
+/// size.
+ValleyCensus census_valleys(const PathStore& paths, const RelationshipMap& rels,
+                            ThreadPool& pool);
 
 /// True when no strict valley-free path connects src and dst in `rels`.
 bool valley_is_necessary(Asn src, Asn dst, const RelationshipMap& rels);

@@ -3,9 +3,33 @@
 #include <algorithm>
 #include <map>
 
+#include "core/parallel.hpp"
 #include "util/error.hpp"
 
 namespace htor::mrt {
+
+namespace {
+
+/// Join one RIB record's entries against its peer table.
+void join_record(const RibPrefixRecord& rib_rec, const PeerIndexTable& peers,
+                 std::vector<ObservedRoute>& out) {
+  for (const auto& entry : rib_rec.entries) {
+    if (entry.peer_index >= peers.peers.size()) {
+      throw DecodeError("RIB entry peer index " + std::to_string(entry.peer_index) +
+                        " out of range");
+    }
+    ObservedRoute route;
+    route.af = rib_rec.prefix.version();
+    route.prefix = rib_rec.prefix;
+    route.peer_asn = peers.peers[entry.peer_index].asn;
+    route.as_path = entry.attrs.as_path.flatten();
+    route.local_pref = entry.attrs.local_pref;
+    route.communities = entry.attrs.communities;
+    out.push_back(std::move(route));
+  }
+}
+
+}  // namespace
 
 void ObservedRib::add(ObservedRoute route) {
   if (route.af == IpVersion::V4) {
@@ -42,20 +66,45 @@ ObservedRib rib_from_records(const std::vector<Record>& records) {
     if (peers == nullptr) {
       throw DecodeError("RIB record before any PEER_INDEX_TABLE");
     }
-    for (const auto& entry : rib_rec->entries) {
-      if (entry.peer_index >= peers->peers.size()) {
-        throw DecodeError("RIB entry peer index " + std::to_string(entry.peer_index) +
-                          " out of range");
-      }
-      ObservedRoute route;
-      route.af = rib_rec->prefix.version();
-      route.prefix = rib_rec->prefix;
-      route.peer_asn = peers->peers[entry.peer_index].asn;
-      route.as_path = entry.attrs.as_path.flatten();
-      route.local_pref = entry.attrs.local_pref;
-      route.communities = entry.attrs.communities;
-      rib.add(std::move(route));
+    std::vector<ObservedRoute> joined;
+    join_record(*rib_rec, *peers, joined);
+    for (auto& route : joined) rib.add(std::move(route));
+  }
+  return rib;
+}
+
+ObservedRib rib_from_records(const std::vector<Record>& records, ThreadPool& pool) {
+  // Sequential pre-scan: pair every RIB record with its governing peer
+  // table, preserving record order (and the fail-fast on orphan records).
+  std::vector<std::pair<const RibPrefixRecord*, const PeerIndexTable*>> joins;
+  joins.reserve(records.size());
+  const PeerIndexTable* peers = nullptr;
+  for (const auto& record : records) {
+    if (const auto* pit = std::get_if<PeerIndexTable>(&record.body)) {
+      peers = pit;
+      continue;
     }
+    const auto* rib_rec = std::get_if<RibPrefixRecord>(&record.body);
+    if (rib_rec == nullptr) continue;  // BGP4MP / raw records are not RIB state
+    if (peers == nullptr) {
+      throw DecodeError("RIB record before any PEER_INDEX_TABLE");
+    }
+    joins.emplace_back(rib_rec, peers);
+  }
+
+  // The per-record attribute joins (AS_SET flattening, community copies)
+  // shard on the pool; shards merge in record order.
+  auto shards = core::shard_map(pool, joins.size(), [&joins](const core::ShardRange& range) {
+    std::vector<ObservedRoute> out;
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      join_record(*joins[i].first, *joins[i].second, out);
+    }
+    return out;
+  });
+
+  ObservedRib rib;
+  for (auto& shard : shards) {
+    for (auto& route : shard) rib.add(std::move(route));
   }
   return rib;
 }

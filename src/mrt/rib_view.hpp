@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mrt/record.hpp"
+#include "util/thread_pool.hpp"
 
 namespace htor::mrt {
 
@@ -51,6 +52,12 @@ class ObservedRib {
 /// first peer-index table are rejected (DecodeError), as are entries whose
 /// peer index is out of range.  AS_SETs are flattened into the path.
 ObservedRib rib_from_records(const std::vector<Record>& records);
+
+/// Sharded variant of the join: a sequential pre-scan maps every record to
+/// its governing peer-index table (and fails fast on records before the
+/// first one), then the per-record entry joins run on `pool` and merge in
+/// shard order — the resulting RIB is identical to the sequential overload.
+ObservedRib rib_from_records(const std::vector<Record>& records, ThreadPool& pool);
 
 /// Serialize an observed RIB back to MRT TABLE_DUMP_V2 records (one
 /// PEER_INDEX_TABLE followed by one RIB record per prefix, entries grouped).

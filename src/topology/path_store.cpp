@@ -1,5 +1,6 @@
 #include "topology/path_store.hpp"
 
+#include <algorithm>
 #include <unordered_set>
 
 namespace htor {
@@ -8,6 +9,12 @@ void PathStore::add(const std::vector<Asn>& path) {
   if (path.size() < 2) return;
   ++paths_[path];
   ++total_;
+  index_built_ = false;
+}
+
+void PathStore::merge(const PathStore& other) {
+  for (const auto& [path, count] : other.paths_) paths_[path] += count;
+  total_ += other.total_;
   index_built_ = false;
 }
 
@@ -24,6 +31,7 @@ std::vector<LinkKey> PathStore::links() const {
     (void)count;
     out.push_back(key);
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 

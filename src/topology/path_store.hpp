@@ -33,6 +33,9 @@ class PathStore {
   /// verbatim).  Empty and single-AS paths are ignored.
   void add(const std::vector<Asn>& path);
 
+  /// Fold another store's paths and occurrence counts into this one.
+  void merge(const PathStore& other);
+
   /// Number of distinct paths.
   std::size_t unique_paths() const { return paths_.size(); }
 
@@ -42,7 +45,9 @@ class PathStore {
   /// Visit every distinct path with its count.
   void for_each(const std::function<void(const std::vector<Asn>&, std::uint64_t)>& fn) const;
 
-  /// Distinct links appearing in any stored path.
+  /// Distinct links appearing in any stored path, in canonical (sorted)
+  /// order — independent of insertion order, so sharded builds of the same
+  /// path set enumerate links identically.
   std::vector<LinkKey> links() const;
 
   /// Number of distinct paths containing link (a, b) as adjacent ASes.

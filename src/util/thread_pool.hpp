@@ -1,0 +1,68 @@
+// Fixed-size worker pool for the census hot paths.
+//
+// The pool is sized by a *job count*: 0 asks for one worker per hardware
+// thread, 1 means "run everything inline on the calling thread" (no worker
+// threads are spawned at all, so single-job runs stay exactly as
+// deterministic and debuggable as the original sequential code), and N > 1
+// spawns N workers.  Tasks are submitted as futures; exceptions thrown by a
+// task surface at future.get() on the caller's thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace htor {
+
+class ThreadPool {
+ public:
+  /// `jobs` as described above: 0 = hardware threads, 1 = inline, N = N.
+  explicit ThreadPool(std::size_t jobs = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count; 0 when the pool executes inline.
+  std::size_t workers() const { return workers_.size(); }
+
+  /// Effective parallelism (1 when inline).
+  std::size_t concurrency() const { return workers_.empty() ? 1 : workers_.size(); }
+
+  /// Best guess at the machine's thread count (never 0).
+  static std::size_t hardware_threads();
+
+  /// Schedule `fn` and return its future.  With no workers the task runs
+  /// immediately on the calling thread; the future is already ready.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using R = std::invoke_result_t<std::decay_t<Fn>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+    } else {
+      post([task] { (*task)(); });
+    }
+    return future;
+  }
+
+ private:
+  void post(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace htor

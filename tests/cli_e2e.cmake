@@ -1,0 +1,106 @@
+# End-to-end exercise of the hybridtor CLI, run as a CTest:
+#   1. `generate` into a fresh (nested, not pre-created) temp dir — exit 0,
+#      all three artifacts present.
+#   2. `census` on the artifacts — exit 0, key report lines present.
+#   3. `census --jobs 4` — byte-identical output to --jobs 1.
+#   4. `census` on a missing rib.mrt — non-zero exit, diagnostic names the file.
+#   5. `census` on a truncated rib.mrt — non-zero exit, no partial report
+#      (skipped on hosts without /bin/sh, which is what clips the file).
+#
+# Invoked as:
+#   cmake -DHYBRIDTOR=<path> -DWORK_DIR=<dir> -P cli_e2e.cmake
+cmake_minimum_required(VERSION 3.20)
+
+if(NOT DEFINED HYBRIDTOR OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DHYBRIDTOR=<cli> -DWORK_DIR=<dir> -P cli_e2e.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+# Deliberately do NOT create the nested data dir: generate must create it.
+set(DATA_DIR "${WORK_DIR}/data/nested")
+
+# -------------------------------------------------------------- 1. generate
+execute_process(COMMAND "${HYBRIDTOR}" generate "${DATA_DIR}" 7
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed (rc=${rc}): ${out}${err}")
+endif()
+foreach(artifact rib.mrt irr.txt truth.csv)
+  if(NOT EXISTS "${DATA_DIR}/${artifact}")
+    message(FATAL_ERROR "generate did not write ${artifact}")
+  endif()
+endforeach()
+
+# -------------------------------------------------------------- 2. census
+execute_process(COMMAND "${HYBRIDTOR}" census "${DATA_DIR}/rib.mrt" "${DATA_DIR}/irr.txt"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE census_j1 ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "census failed (rc=${rc}): ${err}")
+endif()
+foreach(needle
+        "IPv6 AS paths"
+        "IPv6 links with relationship"
+        "dual-stack links"
+        "hybrid links"
+        "IPv6 valley paths")
+  string(FIND "${census_j1}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "census report is missing line '${needle}':\n${census_j1}")
+  endif()
+endforeach()
+
+# -------------------------------------------------- 3. --jobs determinism
+execute_process(COMMAND "${HYBRIDTOR}" census --jobs 4
+                        "${DATA_DIR}/rib.mrt" "${DATA_DIR}/irr.txt"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE census_j4 ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "census --jobs 4 failed (rc=${rc}): ${err}")
+endif()
+if(NOT census_j1 STREQUAL census_j4)
+  message(FATAL_ERROR "census --jobs 4 output differs from --jobs 1")
+endif()
+
+# ----------------------------------------------------- 4. missing rib.mrt
+execute_process(COMMAND "${HYBRIDTOR}" census "${DATA_DIR}/no_such.mrt" "${DATA_DIR}/irr.txt"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "census on a missing rib.mrt must fail")
+endif()
+string(FIND "${err}" "no_such.mrt" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "missing-file diagnostic does not name the file: ${err}")
+endif()
+
+# --------------------------------------------------- 5. truncated rib.mrt
+# CMake script mode has no binary truncation primitive, so a shell clips the
+# file; the check is skipped where /bin/sh does not exist.
+find_program(SH_PROGRAM sh)
+if(SH_PROGRAM)
+  set(TRUNC "${DATA_DIR}/rib_truncated.mrt")
+  file(SIZE "${DATA_DIR}/rib.mrt" rib_size)
+  math(EXPR cut "${rib_size} - 7")
+  execute_process(COMMAND "${SH_PROGRAM}" -c
+                          "head -c ${cut} '${DATA_DIR}/rib.mrt' > '${TRUNC}'"
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "could not produce truncated rib.mrt")
+  endif()
+  execute_process(COMMAND "${HYBRIDTOR}" census "${TRUNC}" "${DATA_DIR}/irr.txt"
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "census on a truncated rib.mrt must fail")
+  endif()
+  if(NOT out STREQUAL "")
+    message(FATAL_ERROR "census on a truncated rib.mrt printed a partial report:\n${out}")
+  endif()
+  string(FIND "${err}" "rib_truncated.mrt" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "truncation diagnostic does not name the file: ${err}")
+  endif()
+else()
+  message(STATUS "cli_e2e: no sh found, skipping truncated-file check")
+endif()
+
+message(STATUS "cli_e2e: all checks passed")
+file(REMOVE_RECURSE "${WORK_DIR}")

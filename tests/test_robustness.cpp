@@ -4,6 +4,9 @@
 // crashing or looping.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "bgp/message.hpp"
 #include "gen/internet.hpp"
 #include "mrt/reader.hpp"
@@ -63,6 +66,34 @@ TEST(Robustness, MrtTruncationSweep) {
       // Expected for mid-record cuts.
     }
   }
+}
+
+// Regression for the census fail-fast path: a RIB dump truncated mid-record
+// must abort the load -> parse -> join pipeline with DecodeError instead of
+// yielding a partially parsed RIB.  This is the exact code path `hybridtor
+// census` runs on its <rib.mrt> argument, including the on-disk round trip.
+TEST(Robustness, TruncatedRibFileFailsFast) {
+  const auto bytes = valid_mrt_bytes();
+  const std::string path = ::testing::TempDir() + "/truncated_rib.mrt";
+
+  // A cut inside the second record's body: the MRT framing (12-byte header
+  // plus declared length) makes the truncation detectable.
+  const std::size_t cut = bytes.size() - 5;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out);
+    out.write(reinterpret_cast<const char*>(bytes.data()), static_cast<long>(cut));
+  }
+
+  const auto data = mrt::load_file(path);
+  ASSERT_EQ(data.size(), cut);
+  EXPECT_THROW(mrt::rib_from_records(mrt::read_all(data)), DecodeError);
+
+  // The sharded join shows the same discipline.
+  ThreadPool pool(4);
+  EXPECT_THROW(mrt::rib_from_records(mrt::read_all(data), pool), DecodeError);
+
+  std::remove(path.c_str());
 }
 
 // Single-byte corruption: every outcome must be a clean parse or DecodeError.

@@ -12,10 +12,17 @@
 //
 // The census subcommand is the adoption path for real data: it consumes
 // nothing but the two files.
+//
+// `--jobs N` (anywhere on the command line) sizes the census thread pool:
+// 1 (the default) runs fully sequential, 0 uses one worker per hardware
+// thread.  Every value produces byte-identical reports.
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/census_report.hpp"
 #include "gen/internet.hpp"
@@ -24,15 +31,33 @@
 #include "rpsl/object.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace htor;
 
+/// Strict numeric parse for --jobs ("0" = auto is legal; "abc"/"4x"/"-1" is
+/// not, and neither is a value no machine has threads for).
+constexpr std::size_t kMaxJobs = 4096;
+
+std::optional<std::size_t> parse_jobs(const std::string& value) {
+  const bool digits_only =
+      !value.empty() &&
+      value.find_first_not_of("0123456789") == std::string::npos;
+  const unsigned long long parsed = digits_only ? std::strtoull(value.c_str(), nullptr, 10) : 0;
+  if (!digits_only || parsed > kMaxJobs) {
+    std::cerr << "error: --jobs expects an integer in [0, " << kMaxJobs << "], got '" << value
+              << "'\n";
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
 int usage() {
   std::cerr << "usage:\n"
                "  hybridtor generate <outdir> [seed]\n"
-               "  hybridtor census <rib.mrt> <irr.txt>\n"
+               "  hybridtor census [--jobs N] <rib.mrt> <irr.txt>\n"
                "  hybridtor inspect <rib.mrt>\n";
   return 2;
 }
@@ -46,6 +71,12 @@ std::string read_text_file(const std::string& path) {
 }
 
 int cmd_generate(const std::string& outdir, std::uint64_t seed) {
+  std::error_code ec;
+  std::filesystem::create_directories(outdir, ec);
+  if (ec) {
+    throw Error("cannot create output directory '" + outdir + "': " + ec.message());
+  }
+
   gen::GenParams params;
   params.seed = seed;
   std::cout << "generating (seed " << seed << ", " << params.total_ases() << " ASes)...\n";
@@ -76,15 +107,25 @@ int cmd_generate(const std::string& outdir, std::uint64_t seed) {
   return 0;
 }
 
-int cmd_census(const std::string& mrt_path, const std::string& irr_path) {
-  const auto data = mrt::load_file(mrt_path);
-  const auto rib = mrt::rib_from_records(mrt::read_all(data));
+int cmd_census(const std::string& mrt_path, const std::string& irr_path, std::size_t jobs) {
+  // Fail fast on unreadable or truncated input: no partial census is ever
+  // printed — the single diagnostic below names the file and the reason.
+  ThreadPool pool(jobs);
+  mrt::ObservedRib rib;
+  try {
+    const auto data = mrt::load_file(mrt_path);
+    rib = mrt::rib_from_records(mrt::read_all(data), pool);
+  } catch (const Error& e) {
+    throw Error("census aborted: " + mrt_path + ": " + e.what());
+  }
   const auto dict = rpsl::mine_dictionary(rpsl::parse_objects(read_text_file(irr_path)));
   std::cout << mrt_path << ": " << rib.size() << " routes ("
             << rib.size_of(IpVersion::V6) << " IPv6); dictionary: " << dict.size()
             << " communities from " << dict.documented_asns().size() << " ASes\n\n";
 
-  const auto census = core::run_census(rib, dict);
+  core::InferenceConfig config;
+  config.threads = jobs;
+  const auto census = core::run_census(rib, dict, config, pool);
 
   Table t({"metric", "value"});
   t.row({"IPv6 AS paths", std::to_string(census.v6_paths)});
@@ -156,15 +197,39 @@ int cmd_inspect(const std::string& mrt_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  try {
-    if (cmd == "generate" && argc >= 3) {
-      const std::uint64_t seed = argc >= 4 ? std::strtoull(argv[3], nullptr, 10) : 42;
-      return cmd_generate(argv[2], seed);
+  // Split the command line into positionals and the --jobs option, which is
+  // accepted anywhere (before or after the subcommand's file arguments).
+  std::vector<std::string> args;
+  std::size_t jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" || arg == "-j") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --jobs requires a value\n";
+        return 2;
+      }
+      const auto parsed = parse_jobs(argv[++i]);
+      if (!parsed) return 2;
+      jobs = *parsed;
+      continue;
     }
-    if (cmd == "census" && argc == 4) return cmd_census(argv[2], argv[3]);
-    if (cmd == "inspect" && argc == 3) return cmd_inspect(argv[2]);
+    if (arg.rfind("--jobs=", 0) == 0) {
+      const auto parsed = parse_jobs(arg.substr(7));
+      if (!parsed) return 2;
+      jobs = *parsed;
+      continue;
+    }
+    args.push_back(arg);
+  }
+  if (args.empty()) return usage();
+  const std::string& cmd = args[0];
+  try {
+    if (cmd == "generate" && args.size() >= 2) {
+      const std::uint64_t seed = args.size() >= 3 ? std::strtoull(args[2].c_str(), nullptr, 10) : 42;
+      return cmd_generate(args[1], seed);
+    }
+    if (cmd == "census" && args.size() == 3) return cmd_census(args[1], args[2], jobs);
+    if (cmd == "inspect" && args.size() == 2) return cmd_inspect(args[1]);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
