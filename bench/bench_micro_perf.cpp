@@ -9,11 +9,22 @@
 #include "core/pipeline.hpp"
 #include "gen/internet.hpp"
 #include "mrt/reader.hpp"
+#include "mrt/rib_view.hpp"
+#include "mrt/stream_reader.hpp"
 #include "mrt/writer.hpp"
 #include "rpsl/object.hpp"
 #include "topology/reachability.hpp"
 #include "topology/valley.hpp"
 #include "util/thread_pool.hpp"
+
+#if defined(__unix__)
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include <cstdio>
+#include <fstream>
 
 namespace {
 
@@ -118,6 +129,131 @@ void BM_RunCensus(benchmark::State& state) {
   state.counters["jobs"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_RunCensus)->Arg(1)->Arg(4)->UseRealTime();
+
+// --- ingest: streaming vs load-all ------------------------------------------
+//
+// Peak RSS is a per-process high-water mark, so measuring both ingest paths
+// in one process would let whichever runs first poison the other's number.
+// Each iteration forks a child that performs ONE ingest of the bench RIB and
+// reports its own ru_maxrss back through a pipe.  A forked child still
+// inherits the parent's resident COW pages, so an idle-child baseline is
+// probed once and subtracted — peak_rss_mb is the ingest's own high-water
+// delta.  Counters: peak_rss_mb, routes (joined count, correctness canary).
+#if defined(__unix__)
+
+/// On-disk bench RIB, written once per process (PID-suffixed so concurrent
+/// bench runs never race on the file).  Larger than the unit-test dumps so
+/// the whole-file and whole-Record-vector materializations of the load-all
+/// path actually show up in RSS.
+const std::string& bench_rib_path() {
+  static const std::string path = [] {
+    const auto net = gen::SyntheticInternet::generate(gen::small_params(11));
+    mrt::MrtWriter writer;
+    // Repeat the dump so the file has enough records for several stream
+    // batches; repeated PEER_INDEX_TABLEs are legal (each governs the
+    // records that follow it) and keep the RIB join meaningful.
+    const auto records = mrt::records_from_rib(net.collect(), 1, "ingest", 1281052800u);
+    for (int copy = 0; copy < 8; ++copy) {
+      for (const auto& rec : records) writer.write(rec);
+    }
+    std::string p = "/tmp/hybridtor_bench_ingest." + std::to_string(getpid()) + ".mrt";
+    writer.save(p);
+    return p;
+  }();
+  // Registered after `path` completes initialization, so the handler runs
+  // before the string's destructor at exit.
+  static const bool cleanup = [] {
+    std::atexit([] { std::remove(bench_rib_path().c_str()); });
+    return true;
+  }();
+  (void)cleanup;
+  return path;
+}
+
+struct IngestProbe {
+  long peak_rss_kb = 0;
+  std::uint64_t routes = 0;
+};
+
+/// Run `ingest` in a forked child; returns the child's peak RSS and the
+/// route count it observed.
+template <typename Ingest>
+IngestProbe probe_ingest_in_child(Ingest ingest) {
+  int fds[2];
+  if (pipe(fds) != 0) throw std::runtime_error("pipe() failed");
+  const pid_t pid = fork();
+  if (pid < 0) throw std::runtime_error("fork() failed");
+  if (pid == 0) {
+    close(fds[0]);
+    IngestProbe probe;
+    probe.routes = ingest();
+    struct rusage usage {};
+    getrusage(RUSAGE_SELF, &usage);
+    probe.peak_rss_kb = usage.ru_maxrss;
+    ssize_t written = write(fds[1], &probe, sizeof(probe));
+    _exit(written == sizeof(probe) ? 0 : 1);
+  }
+  close(fds[1]);
+  IngestProbe probe;
+  const ssize_t got = read(fds[0], &probe, sizeof(probe));
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (got != sizeof(probe) || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    throw std::runtime_error("ingest child failed");
+  }
+  return probe;
+}
+
+/// High-water of a child that ingests nothing: the resident pages inherited
+/// from the parent at fork.  Probed lazily (after the parent's fixtures for
+/// earlier benchmarks exist) and subtracted from every ingest measurement.
+long idle_child_rss_kb() {
+  return probe_ingest_in_child([] { return std::uint64_t{0}; }).peak_rss_kb;
+}
+
+double ingest_delta_mb(const IngestProbe& probe) {
+  const long delta = probe.peak_rss_kb - idle_child_rss_kb();
+  return static_cast<double>(delta > 0 ? delta : 0) / 1024.0;
+}
+
+void BM_IngestStreaming(benchmark::State& state) {
+  const std::string path = bench_rib_path();
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  IngestProbe last;
+  for (auto _ : state) {
+    last = probe_ingest_in_child([&] {
+      ThreadPool pool(jobs);
+      return static_cast<std::uint64_t>(mrt::rib_from_stream(path, pool).size());
+    });
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["peak_rss_mb"] = ingest_delta_mb(last);
+  state.counters["routes"] = static_cast<double>(last.routes);
+  state.counters["jobs"] = static_cast<double>(jobs);
+}
+BENCHMARK(BM_IngestStreaming)->Arg(1)->Arg(4)->UseRealTime();
+
+void BM_IngestLoadAll(benchmark::State& state) {
+  const std::string path = bench_rib_path();
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  IngestProbe last;
+  for (auto _ : state) {
+    last = probe_ingest_in_child([&] {
+      ThreadPool pool(jobs);
+      const auto data = mrt::load_file(path);
+      return static_cast<std::uint64_t>(
+          mrt::rib_from_records(mrt::read_all(data), pool).size());
+    });
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["peak_rss_mb"] = ingest_delta_mb(last);
+  state.counters["routes"] = static_cast<double>(last.routes);
+  state.counters["jobs"] = static_cast<double>(jobs);
+}
+BENCHMARK(BM_IngestLoadAll)->Arg(1)->Arg(4)->UseRealTime();
+
+#endif  // __unix__
 
 void BM_ValleyCheck(benchmark::State& state) {
   const auto& rels = bits().rels;

@@ -38,6 +38,9 @@ Relationship rel_from_index(std::size_t i) {
   }
 }
 
+/// Sentinel for an ASN that occurs more than once on a collapsed path.
+constexpr std::size_t kAmbiguousPosition = static_cast<std::size_t>(-1);
+
 }  // namespace
 
 void CommunityVotes::merge(const CommunityVotes& other) {
@@ -60,17 +63,26 @@ CommunityVotes scan_community_votes(const std::vector<const mrt::ObservedRoute*>
     if (chain.size() < 2) continue;
 
     position.clear();
-    for (std::size_t i = 0; i < chain.size(); ++i) position.emplace(chain[i], i);
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      // An ASN appearing twice post-collapse means a looped/poisoned path:
+      // a tag from that AS cannot be localized to one link, so mark it
+      // ambiguous instead of silently keeping the first occurrence.
+      auto [it, inserted] = position.emplace(chain[i], i);
+      if (!inserted) it->second = kAmbiguousPosition;
+    }
 
     bool contributed = false;
     for (bgp::Community community : route->communities) {
       const rpsl::CommunityMeaning* meaning = dict.lookup(community);
       if (meaning == nullptr || !rpsl::is_relationship_tag(meaning->kind)) continue;
 
-      // Localize: the tagging AS must sit on this path with a next hop
-      // toward the origin.
+      // Localize: the tagging AS must sit on this path exactly once, with a
+      // next hop toward the origin.
       auto it = position.find(community.asn());
-      if (it == position.end() || it->second + 1 >= chain.size()) continue;
+      if (it == position.end() || it->second == kAmbiguousPosition ||
+          it->second + 1 >= chain.size()) {
+        continue;
+      }
       const Asn tagger = chain[it->second];
       const Asn from = chain[it->second + 1];
 
@@ -97,11 +109,17 @@ CommunityInferenceResult tally_community_votes(const CommunityVotes& votes,
   for (const auto& [key, vote] : votes.votes) {
     std::uint64_t total = 0;
     std::size_t best = 0;
+    std::size_t with_max = 0;  // how many relationships share the top count
     for (std::size_t i = 0; i < 4; ++i) {
       total += vote[i];
       if (vote[i] > vote[best]) best = i;
     }
-    if (vote[best] < params.min_votes ||
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (vote[i] == vote[best]) ++with_max;
+    }
+    // A tie for the top count (e.g. 1×P2C vs 1×P2P) is a contradiction, not
+    // a winner — resolving it by enum order would silently prefer P2C.
+    if (with_max > 1 || vote[best] < params.min_votes ||
         static_cast<double>(vote[best]) < params.majority * static_cast<double>(total)) {
       ++result.conflicted_links;
       continue;

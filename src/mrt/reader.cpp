@@ -65,12 +65,18 @@ Bgp4mpMessage decode_bgp4mp(ByteReader& r, bool as4) {
 
 std::optional<Record> MrtReader::next() {
   if (reader_.exhausted()) return std::nullopt;
-  Record record;
-  record.timestamp = reader_.u32();
+  const std::uint32_t timestamp = reader_.u32();
   const std::uint16_t type = reader_.u16();
   const std::uint16_t subtype = reader_.u16();
   const std::uint32_t length = reader_.u32();
-  ByteReader body = reader_.sub(length);
+  return decode_record_body(timestamp, type, subtype, reader_.bytes(length));
+}
+
+Record decode_record_body(std::uint32_t timestamp, std::uint16_t type, std::uint16_t subtype,
+                          std::span<const std::uint8_t> body_bytes) {
+  Record record;
+  record.timestamp = timestamp;
+  ByteReader body(body_bytes);
 
   if (type == static_cast<std::uint16_t>(MrtType::TableDumpV2)) {
     switch (static_cast<TableDumpV2Subtype>(subtype)) {
@@ -110,6 +116,7 @@ std::vector<std::uint8_t> load_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw Error("cannot open '" + path + "'");
   const std::streamsize size = in.tellg();
+  if (size < 0) throw Error("cannot determine size of '" + path + "'");
   in.seekg(0);
   std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
   in.read(reinterpret_cast<char*>(data.data()), size);

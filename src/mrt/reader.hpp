@@ -26,6 +26,13 @@ class MrtReader {
   ByteReader reader_;
 };
 
+/// Decode one record body given the common-header fields that frame it.
+/// Modelled (type, subtype) pairs are fully validated and throw DecodeError
+/// on malformed bytes; unmodelled ones come back as RawRecord.  This is the
+/// per-record core shared by MrtReader and the streaming reader.
+Record decode_record_body(std::uint32_t timestamp, std::uint16_t type, std::uint16_t subtype,
+                          std::span<const std::uint8_t> body);
+
 /// Load a whole file into memory.  Throws Error on I/O failure.
 std::vector<std::uint8_t> load_file(const std::string& path);
 

@@ -8,11 +8,8 @@
 
 namespace htor::mrt {
 
-namespace {
-
-/// Join one RIB record's entries against its peer table.
-void join_record(const RibPrefixRecord& rib_rec, const PeerIndexTable& peers,
-                 std::vector<ObservedRoute>& out) {
+void join_rib_record(const RibPrefixRecord& rib_rec, const PeerIndexTable& peers,
+                     std::vector<ObservedRoute>& out) {
   for (const auto& entry : rib_rec.entries) {
     if (entry.peer_index >= peers.peers.size()) {
       throw DecodeError("RIB entry peer index " + std::to_string(entry.peer_index) +
@@ -28,8 +25,6 @@ void join_record(const RibPrefixRecord& rib_rec, const PeerIndexTable& peers,
     out.push_back(std::move(route));
   }
 }
-
-}  // namespace
 
 void ObservedRib::add(ObservedRoute route) {
   if (route.af == IpVersion::V4) {
@@ -67,7 +62,7 @@ ObservedRib rib_from_records(const std::vector<Record>& records) {
       throw DecodeError("RIB record before any PEER_INDEX_TABLE");
     }
     std::vector<ObservedRoute> joined;
-    join_record(*rib_rec, *peers, joined);
+    join_rib_record(*rib_rec, *peers, joined);
     for (auto& route : joined) rib.add(std::move(route));
   }
   return rib;
@@ -97,7 +92,7 @@ ObservedRib rib_from_records(const std::vector<Record>& records, ThreadPool& poo
   auto shards = core::shard_map(pool, joins.size(), [&joins](const core::ShardRange& range) {
     std::vector<ObservedRoute> out;
     for (std::size_t i = range.begin; i < range.end; ++i) {
-      join_record(*joins[i].first, *joins[i].second, out);
+      join_rib_record(*joins[i].first, *joins[i].second, out);
     }
     return out;
   });
@@ -116,6 +111,16 @@ std::vector<Record> records_from_rib(const ObservedRib& rib, std::uint32_t colle
   for (const auto& route : rib.routes()) peer_asns.push_back(route.peer_asn);
   std::sort(peer_asns.begin(), peer_asns.end());
   peer_asns.erase(std::unique(peer_asns.begin(), peer_asns.end()), peer_asns.end());
+
+  // The PEER_INDEX_TABLE peer count and the per-entry peer index are both
+  // 16-bit fields (RFC 6396 §4.3): a RIB with more vantage peers than that
+  // is unrepresentable in TABLE_DUMP_V2, not truncatable.
+  constexpr std::size_t kMaxPeers = 65535;
+  if (peer_asns.size() > kMaxPeers) {
+    throw InvalidArgument("RIB has " + std::to_string(peer_asns.size()) +
+                          " distinct peers; TABLE_DUMP_V2 peer indexes are 16-bit (max " +
+                          std::to_string(kMaxPeers) + ")");
+  }
 
   PeerIndexTable pit;
   pit.collector_bgp_id = collector_bgp_id;

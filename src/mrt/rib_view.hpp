@@ -48,6 +48,13 @@ class ObservedRib {
   std::size_t v6_count_ = 0;
 };
 
+/// Join one RIB record's entries against its governing peer table, appending
+/// one ObservedRoute per entry (in entry order).  Throws DecodeError when an
+/// entry's peer index is out of range.  This is the per-record core shared
+/// by rib_from_records() and the streaming rib_from_stream() path.
+void join_rib_record(const RibPrefixRecord& rib_rec, const PeerIndexTable& peers,
+                     std::vector<ObservedRoute>& out);
+
 /// Join RIB records against their PEER_INDEX_TABLE.  Records before the
 /// first peer-index table are rejected (DecodeError), as are entries whose
 /// peer index is out of range.  AS_SETs are flattened into the path.
@@ -61,7 +68,9 @@ ObservedRib rib_from_records(const std::vector<Record>& records, ThreadPool& poo
 
 /// Serialize an observed RIB back to MRT TABLE_DUMP_V2 records (one
 /// PEER_INDEX_TABLE followed by one RIB record per prefix, entries grouped).
-/// Routes are grouped per family; `timestamp` stamps every record.
+/// Routes are grouped per family; `timestamp` stamps every record.  Throws
+/// InvalidArgument when the RIB has more distinct peers than the format's
+/// 16-bit peer index can address (65535).
 std::vector<Record> records_from_rib(const ObservedRib& rib, std::uint32_t collector_bgp_id,
                                      const std::string& view_name, std::uint32_t timestamp);
 

@@ -1,0 +1,163 @@
+#include "mrt/stream_reader.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "core/parallel.hpp"
+#include "mrt/reader.hpp"
+#include "util/bytes.hpp"
+
+namespace htor::mrt {
+
+namespace {
+
+bool is_peer_index_table(const RawFramedRecord& rec) {
+  return rec.type == static_cast<std::uint16_t>(MrtType::TableDumpV2) &&
+         rec.subtype == static_cast<std::uint16_t>(TableDumpV2Subtype::PeerIndexTable);
+}
+
+bool is_rib_record(const RawFramedRecord& rec) {
+  return rec.type == static_cast<std::uint16_t>(MrtType::TableDumpV2) &&
+         (rec.subtype == static_cast<std::uint16_t>(TableDumpV2Subtype::RibIpv4Unicast) ||
+          rec.subtype == static_cast<std::uint16_t>(TableDumpV2Subtype::RibIpv6Unicast));
+}
+
+/// One batched record awaiting parallel decode: the raw frame plus the
+/// peer-index table that governs it (null for non-RIB records, which decode
+/// for validation only).
+struct PendingRecord {
+  RawFramedRecord raw;
+  std::shared_ptr<const PeerIndexTable> peers;
+};
+
+/// Decode + join one batch on the pool; shards merge in record order.
+void flush_batch(std::vector<PendingRecord>& batch, ThreadPool& pool, ObservedRib& rib) {
+  auto shards = core::shard_map(pool, batch.size(), [&batch](const core::ShardRange& range) {
+    std::vector<ObservedRoute> out;
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      const PendingRecord& item = batch[i];
+      const Record record = decode_record_body(item.raw.timestamp, item.raw.type,
+                                               item.raw.subtype, item.raw.body);
+      const auto* rib_rec = std::get_if<RibPrefixRecord>(&record.body);
+      if (rib_rec == nullptr) continue;  // decoded only to validate the bytes
+      join_rib_record(*rib_rec, *item.peers, out);
+    }
+    return out;
+  });
+  for (auto& shard : shards) {
+    for (auto& route : shard) rib.add(std::move(route));
+  }
+  batch.clear();
+}
+
+}  // namespace
+
+MrtStreamReader::MrtStreamReader(const std::string& path, std::size_t io_buffer_bytes)
+    : path_(path), io_buffer_(io_buffer_bytes > 0 ? io_buffer_bytes : kDefaultIoBuffer) {
+  // pubsetbuf must precede open() to take effect portably.
+  in_.rdbuf()->pubsetbuf(io_buffer_.data(), static_cast<std::streamsize>(io_buffer_.size()));
+  in_.open(path, std::ios::binary);
+  if (!in_) throw Error("cannot open '" + path + "'");
+  in_.seekg(0, std::ios::end);
+  const std::streamoff size = in_.tellg();
+  if (size < 0) throw Error("cannot determine size of '" + path + "'");
+  file_size_ = static_cast<std::uint64_t>(size);
+  in_.seekg(0);
+}
+
+std::optional<RawFramedRecord> MrtStreamReader::next() {
+  constexpr std::size_t kHeaderBytes = 12;
+  std::uint8_t header[kHeaderBytes];
+  in_.read(reinterpret_cast<char*>(header), kHeaderBytes);
+  const std::streamsize got = in_.gcount();
+  if (got == 0 && in_.eof()) return std::nullopt;  // clean end-of-file
+  if (got < static_cast<std::streamsize>(kHeaderBytes)) {
+    if (in_.eof()) {
+      throw DecodeError("truncated MRT record header at byte " + std::to_string(bytes_) +
+                        " of '" + path_ + "': " + std::to_string(got) + " of 12 bytes");
+    }
+    throw Error("read from '" + path_ + "' failed at byte " + std::to_string(bytes_));
+  }
+
+  ByteReader hdr(std::span<const std::uint8_t>(header, kHeaderBytes));
+  RawFramedRecord rec;
+  rec.timestamp = hdr.u32();
+  rec.type = hdr.u16();
+  rec.subtype = hdr.u16();
+  const std::uint32_t length = hdr.u32();
+
+  // Validate framing against the file size before allocating: a corrupt
+  // length field must fail cleanly, not over-allocate or short-read.  The
+  // size was snapshotted at open, so a file that grows underneath us (a
+  // collector still appending) reads as truncated at the snapshot, not as
+  // an unsigned underflow that would disable this guard.
+  const std::uint64_t body_start = bytes_ + kHeaderBytes;
+  if (body_start > file_size_) {
+    throw DecodeError("MRT record header at byte " + std::to_string(bytes_) + " of '" + path_ +
+                      "' extends past the file size observed at open (" +
+                      std::to_string(file_size_) + " bytes); file changed while reading?");
+  }
+  if (length > file_size_ - body_start) {
+    throw DecodeError("MRT record at byte " + std::to_string(bytes_) + " of '" + path_ +
+                      "' declares " + std::to_string(length) + " body bytes but only " +
+                      std::to_string(file_size_ - body_start) + " remain");
+  }
+
+  rec.body.resize(length);
+  in_.read(reinterpret_cast<char*>(rec.body.data()), static_cast<std::streamsize>(length));
+  if (in_.gcount() < static_cast<std::streamsize>(length)) {
+    if (in_.eof()) {  // file shrank under us
+      throw DecodeError("truncated MRT record body at byte " + std::to_string(body_start) +
+                        " of '" + path_ + "'");
+    }
+    throw Error("read from '" + path_ + "' failed at byte " + std::to_string(body_start));
+  }
+
+  bytes_ = body_start + length;
+  ++records_;
+  return rec;
+}
+
+ObservedRib rib_from_stream(const std::string& path, ThreadPool& pool,
+                            std::size_t batch_records) {
+  if (batch_records == 0) batch_records = kStreamBatchRecords;
+  MrtStreamReader stream(path);
+  ObservedRib rib;
+
+  // Peer-index tables decode inline during the header scan — they are rare
+  // (one per dump), cheap, and must govern the RIB records that follow them
+  // within the same batch.  shared_ptr keeps a table alive for exactly the
+  // batches that reference it.
+  std::shared_ptr<const PeerIndexTable> current_peers;
+  std::vector<PendingRecord> batch;
+  batch.reserve(batch_records);
+
+  while (auto raw = stream.next()) {
+    if (is_peer_index_table(*raw)) {
+      Record record = decode_record_body(raw->timestamp, raw->type, raw->subtype, raw->body);
+      current_peers = std::make_shared<const PeerIndexTable>(
+          std::move(std::get<PeerIndexTable>(record.body)));
+      continue;
+    }
+    if (is_rib_record(*raw)) {
+      if (current_peers == nullptr) {
+        throw DecodeError("RIB record before any PEER_INDEX_TABLE");
+      }
+      batch.push_back(PendingRecord{std::move(*raw), current_peers});
+    } else {
+      // Non-RIB records contribute no routes but still decode (in the batch,
+      // on the pool) so corrupt bytes fail exactly like the in-memory path.
+      batch.push_back(PendingRecord{std::move(*raw), nullptr});
+    }
+    if (batch.size() >= batch_records) flush_batch(batch, pool, rib);
+  }
+  flush_batch(batch, pool, rib);
+  return rib;
+}
+
+ObservedRib rib_from_stream(const std::string& path) {
+  ThreadPool inline_pool(1);
+  return rib_from_stream(path, inline_pool);
+}
+
+}  // namespace htor::mrt

@@ -106,6 +106,52 @@ TEST(CommunityInference, ConflictingVotesYieldUnknown) {
   EXPECT_EQ(result2.rels.get(100, 200), Relationship::P2C);
 }
 
+TEST(CommunityInference, TieIsConflictedNotEnumOrder) {
+  // Regression: 1×"from customer" vs 1×"from peer" on the same link is a
+  // dead tie.  With a majority requirement of 0.5 the old tally let the tie
+  // pass and resolved it to P2C purely because P2C has the lowest rel index.
+  const auto a = route(IpVersion::V4, {100, 200}, {bgp::Community(100, 1)});
+  const auto b = route(IpVersion::V4, {100, 200}, {bgp::Community(100, 2)});
+  CommunityInferenceParams params;
+  params.majority = 0.5;
+  const auto result = infer_from_communities({&a, &b}, sample_dict(), params);
+  EXPECT_EQ(result.rels.get(100, 200), Relationship::Unknown);
+  EXPECT_EQ(result.rels.size(), 0u);
+  EXPECT_EQ(result.conflicted_links, 1u);
+
+  // A 2-vs-1 split at the same threshold is a genuine majority and resolves.
+  const auto c = route(IpVersion::V4, {100, 200}, {bgp::Community(100, 1)});
+  const auto result2 = infer_from_communities({&a, &b, &c}, sample_dict(), params);
+  EXPECT_EQ(result2.rels.get(100, 200), Relationship::P2C);
+  EXPECT_EQ(result2.conflicted_links, 0u);
+}
+
+TEST(CommunityInference, LoopedPathTaggerVotesAreSkipped) {
+  // Regression: on a looped/poisoned path the tagging AS appears twice
+  // non-adjacently, so its ingress tag cannot be localized to one link.
+  // The old scan kept only the first occurrence and voted on (100, 200);
+  // the vote must be skipped entirely.
+  const auto r = route(IpVersion::V4, {100, 200, 100, 300}, {bgp::Community(100, 1)});
+  const auto result = infer_from_communities({&r}, sample_dict());
+  EXPECT_EQ(result.rels.size(), 0u);
+  EXPECT_EQ(result.total_votes, 0u);
+  EXPECT_EQ(result.tagged_routes, 0u);
+
+  // Tags from single-occurrence ASes on the same path still vote: AS 200
+  // appears once, so its tag localizes to (200, 100) unambiguously.
+  const auto s = route(IpVersion::V4, {100, 200, 100, 300},
+                       {bgp::Community(100, 1), bgp::Community(200, 10)});
+  const auto result2 = infer_from_communities({&s}, sample_dict());
+  EXPECT_EQ(result2.total_votes, 1u);
+  EXPECT_EQ(result2.rels.get(200, 100), Relationship::P2C);
+
+  // Adjacent repeats are prepending, which collapse() already handles; the
+  // collapsed single occurrence still votes.
+  const auto t = route(IpVersion::V4, {100, 100, 200}, {bgp::Community(100, 1)});
+  const auto result3 = infer_from_communities({&t}, sample_dict());
+  EXPECT_EQ(result3.rels.get(100, 200), Relationship::P2C);
+}
+
 TEST(CommunityInference, MinVotesThreshold) {
   const auto r = route(IpVersion::V4, {100, 200}, {bgp::Community(100, 1)});
   CommunityInferenceParams params;

@@ -193,6 +193,22 @@ TEST(RibView, RejectsOutOfRangePeerIndex) {
   EXPECT_THROW(rib_from_records({Record{0, pit}, Record{0, rib}}), DecodeError);
 }
 
+TEST(RibView, RejectsMoreThan16BitPeers) {
+  // Regression: 65536 distinct vantage peers cannot be addressed by the
+  // format's 16-bit peer index — the serializer used to truncate the index
+  // silently; it must refuse with a reasoned error instead.
+  ObservedRib rib;
+  for (std::uint32_t asn = 1; asn <= 65536; ++asn) {
+    ObservedRoute r;
+    r.af = IpVersion::V4;
+    r.prefix = Prefix::parse("10.0.0.0/8");
+    r.peer_asn = asn;
+    r.as_path = {asn};
+    rib.add(std::move(r));
+  }
+  EXPECT_THROW(records_from_rib(rib, 1, "overflow", 0), InvalidArgument);
+}
+
 TEST(RibView, FlattensAsSets) {
   PeerIndexTable pit;
   pit.peers.push_back({1, IpAddress::parse("10.0.0.1"), 64500});

@@ -11,6 +11,7 @@
 #include "gen/internet.hpp"
 #include "mrt/reader.hpp"
 #include "mrt/rib_view.hpp"
+#include "mrt/stream_reader.hpp"
 #include "mrt/writer.hpp"
 #include "util/rng.hpp"
 
@@ -66,6 +67,59 @@ TEST(Robustness, MrtTruncationSweep) {
       // Expected for mid-record cuts.
     }
   }
+}
+
+// Record *header* corruption mid-file (the earlier sweeps mostly land in
+// bodies): both readers must raise a clean DecodeError — never silently stop
+// or hand back a partial RIB.
+TEST(Robustness, TruncatedHeaderMidFileThrows) {
+  auto bytes = valid_mrt_bytes();
+  // 7 stray bytes after the last valid record: a header cut short.
+  bytes.insert(bytes.end(), {0x12, 0x34, 0x56, 0x78, 0x00, 0x0d, 0x00});
+
+  mrt::MrtReader reader(bytes);
+  EXPECT_THROW(
+      {
+        while (reader.next()) {
+        }
+      },
+      DecodeError);
+  EXPECT_THROW(mrt::rib_from_records(mrt::read_all(bytes)), DecodeError);
+
+  // Same file on disk through the streaming reader.
+  const std::string path = ::testing::TempDir() + "/trunc_header.mrt";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out);
+    out.write(reinterpret_cast<const char*>(bytes.data()), static_cast<long>(bytes.size()));
+  }
+  EXPECT_THROW(mrt::rib_from_stream(path), DecodeError);
+  std::remove(path.c_str());
+}
+
+TEST(Robustness, GarbageHeaderLengthMidFileThrows) {
+  auto bytes = valid_mrt_bytes();
+  // A structurally complete header whose length field points far past EOF.
+  bytes.insert(bytes.end(),
+               {0x00, 0x00, 0x00, 0x01, 0x00, 0x0d, 0x00, 0x02, 0xff, 0xff, 0xff, 0xfe});
+
+  mrt::MrtReader reader(bytes);
+  EXPECT_THROW(
+      {
+        while (reader.next()) {
+        }
+      },
+      DecodeError);
+  EXPECT_THROW(mrt::rib_from_records(mrt::read_all(bytes)), DecodeError);
+
+  const std::string path = ::testing::TempDir() + "/garbage_header.mrt";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out);
+    out.write(reinterpret_cast<const char*>(bytes.data()), static_cast<long>(bytes.size()));
+  }
+  EXPECT_THROW(mrt::rib_from_stream(path), DecodeError);
+  std::remove(path.c_str());
 }
 
 // Regression for the census fail-fast path: a RIB dump truncated mid-record
