@@ -6,7 +6,12 @@
 #include "bgp/message.hpp"
 #include "core/community_inference.hpp"
 #include "harness.hpp"
+#include "core/census_report.hpp"
 #include "core/pipeline.hpp"
+#include "core/snapshot_bridge.hpp"
+#include "snapshot/diff.hpp"
+#include "snapshot/reader.hpp"
+#include "snapshot/writer.hpp"
 #include "gen/internet.hpp"
 #include "mrt/reader.hpp"
 #include "mrt/rib_view.hpp"
@@ -290,6 +295,69 @@ void BM_DictionaryMining(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * irr.size()));
 }
 BENCHMARK(BM_DictionaryMining);
+
+// --- snapshot store ----------------------------------------------------------
+
+/// Census snapshot of the shared dataset, built once.
+const snapshot::Snapshot& snapshot_fixture() {
+  static const snapshot::Snapshot snap = [] {
+    const auto report = core::run_census(bits().rib, bits().dict);
+    return core::to_snapshot(report, "bench/rib.mrt", 1281052800u);
+  }();
+  return snap;
+}
+
+void BM_SnapshotWrite(benchmark::State& state) {
+  const auto& snap = snapshot_fixture();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto encoded = snapshot::Writer::encode(snap);
+    bytes = encoded.size();
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * bytes));
+  state.counters["links_v4"] = static_cast<double>(snap.rels_v4.size());
+  state.counters["links_v6"] = static_cast<double>(snap.rels_v6.size());
+}
+BENCHMARK(BM_SnapshotWrite);
+
+void BM_SnapshotRead(benchmark::State& state) {
+  const auto bytes = snapshot::Writer::encode(snapshot_fixture());
+  for (auto _ : state) {
+    auto snap = snapshot::Reader::decode(bytes);
+    benchmark::DoNotOptimize(snap);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * bytes.size()));
+}
+BENCHMARK(BM_SnapshotRead);
+
+void BM_SnapshotDiff(benchmark::State& state) {
+  const auto& a = snapshot_fixture();
+  // Perturbed copy: flip, drop, and widow links so every churn bucket does
+  // real work instead of degenerating to the all-unchanged fast path.
+  static const snapshot::Snapshot b = [&] {
+    snapshot::Snapshot copy = a;
+    std::size_t i = 0;
+    for (const auto& [link, rel] : snapshot::sorted_entries(a.rels_v6)) {
+      if (i % 7 == 0) {
+        copy.rels_v6.set(link.first, link.second,
+                         rel == Relationship::P2P ? Relationship::P2C : Relationship::P2P);
+      } else if (i % 11 == 0) {
+        copy.rels_v6.erase(link.first, link.second);
+      }
+      ++i;
+    }
+    return copy;
+  }();
+  std::uint64_t churn = 0;
+  for (auto _ : state) {
+    auto diff = snapshot::diff_snapshots(a, b);
+    churn = diff.total_churn();
+    benchmark::DoNotOptimize(diff);
+  }
+  state.counters["churn"] = static_cast<double>(churn);
+}
+BENCHMARK(BM_SnapshotDiff);
 
 }  // namespace
 

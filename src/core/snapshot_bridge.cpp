@@ -1,0 +1,57 @@
+#include "core/snapshot_bridge.hpp"
+
+namespace htor::core {
+
+namespace {
+
+snapshot::CoverageCounters counters_of(const CoverageStats& stats) {
+  return {stats.observed_links, stats.covered_links};
+}
+
+snapshot::ValleyCounters counters_of(const ValleyCensus& census) {
+  return {census.paths, census.valley_free, census.valley, census.incomplete,
+          census.classified_valleys, census.necessary_valleys};
+}
+
+}  // namespace
+
+snapshot::Snapshot to_snapshot(const CensusReport& report, std::string source,
+                               std::uint64_t timestamp) {
+  snapshot::Snapshot snap;
+  snap.header.timestamp = timestamp;
+  snap.header.source = std::move(source);
+
+  snap.dataset.v4_paths = report.v4_paths;
+  snap.dataset.v6_paths = report.v6_paths;
+  snap.dataset.v4_links = report.v4_links;
+  snap.dataset.v6_links = report.v6_links;
+  snap.dataset.dual_links = report.dual_links;
+
+  snap.coverage_v4 = counters_of(report.v4_coverage);
+  snap.coverage_v6 = counters_of(report.v6_coverage);
+  snap.coverage_dual = counters_of(report.dual_coverage);
+  snap.valleys_v4 = counters_of(report.v4_valleys);
+  snap.valleys_v6 = counters_of(report.v6_valleys);
+
+  snap.hybrid_counters.dual_links_observed = report.hybrids.dual_links_observed;
+  snap.hybrid_counters.dual_links_both_known = report.hybrids.dual_links_both_known;
+  snap.hybrid_counters.v6_paths_total = report.hybrids.v6_paths_total;
+  snap.hybrid_counters.v6_paths_with_hybrid = report.hybrids.v6_paths_with_hybrid;
+
+  snap.rels_v4 = report.inferred.v4;
+  snap.rels_v6 = report.inferred.v6;
+
+  snap.hybrids.reserve(report.hybrids.hybrids.size());
+  for (const auto& finding : report.hybrids.hybrids) {
+    snapshot::HybridLink h;
+    h.link = finding.link;
+    h.rel_v4 = finding.rel_v4;
+    h.rel_v6 = finding.rel_v6;
+    h.cls = static_cast<std::uint8_t>(finding.cls);
+    h.v6_path_visibility = finding.v6_path_visibility;
+    snap.hybrids.push_back(h);
+  }
+  return snap;
+}
+
+}  // namespace htor::core

@@ -1,0 +1,22 @@
+// Bridge from the in-memory CensusReport to its persistent snapshot form.
+// The snapshot keeps the report's durable core — relationship maps, hybrid
+// links, coverage/valley/dataset counters — and drops what is recomputable
+// or transient (path stores, per-stage inference intermediates).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/census_report.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace htor::core {
+
+/// Project `report` into a Snapshot.  `source` names the MRT file the census
+/// consumed; `timestamp` is the RIB epoch (MRT record timestamp), NOT wall
+/// clock — the same report with the same arguments always produces the same
+/// snapshot, byte for byte.
+snapshot::Snapshot to_snapshot(const CensusReport& report, std::string source,
+                               std::uint64_t timestamp);
+
+}  // namespace htor::core

@@ -1,7 +1,5 @@
 #include "mrt/reader.hpp"
 
-#include <fstream>
-
 #include "bgp/nlri.hpp"
 
 namespace htor::mrt {
@@ -112,17 +110,7 @@ Record decode_record_body(std::uint32_t timestamp, std::uint16_t type, std::uint
   return record;
 }
 
-std::vector<std::uint8_t> load_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) throw Error("cannot open '" + path + "'");
-  const std::streamsize size = in.tellg();
-  if (size < 0) throw Error("cannot determine size of '" + path + "'");
-  in.seekg(0);
-  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
-  in.read(reinterpret_cast<char*>(data.data()), size);
-  if (!in) throw Error("read from '" + path + "' failed");
-  return data;
-}
+std::vector<std::uint8_t> load_file(const std::string& path) { return load_bytes(path); }
 
 std::vector<Record> read_all(std::span<const std::uint8_t> data) {
   MrtReader reader(data);

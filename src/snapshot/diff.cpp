@@ -1,0 +1,72 @@
+#include "snapshot/diff.hpp"
+
+#include <algorithm>
+
+namespace htor::snapshot {
+
+namespace {
+
+std::vector<LinkKey> sorted_hybrid_links(const Snapshot& snap) {
+  std::vector<LinkKey> links;
+  links.reserve(snap.hybrids.size());
+  for (const auto& h : snap.hybrids) links.push_back(h.link);
+  std::sort(links.begin(), links.end());
+  return links;
+}
+
+}  // namespace
+
+FamilyDiff diff_relationships(const RelationshipMap& a, const RelationshipMap& b) {
+  const auto ea = sorted_entries(a);
+  const auto eb = sorted_entries(b);
+  FamilyDiff out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  // Merge-walk the two canonical orderings; each link lands in exactly one
+  // bucket.
+  while (i < ea.size() || j < eb.size()) {
+    if (j == eb.size() || (i < ea.size() && ea[i].first < eb[j].first)) {
+      out.vanished.push_back(ea[i].first);
+      ++i;
+    } else if (i == ea.size() || eb[j].first < ea[i].first) {
+      out.appeared.push_back(eb[j].first);
+      ++j;
+    } else {
+      if (ea[i].second != eb[j].second) {
+        out.flips.push_back({ea[i].first, ea[i].second, eb[j].second});
+      } else {
+        ++out.unchanged;
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+Diff diff_snapshots(const Snapshot& a, const Snapshot& b) {
+  Diff out;
+  out.v4 = diff_relationships(a.rels_v4, b.rels_v4);
+  out.v6 = diff_relationships(a.rels_v6, b.rels_v6);
+
+  const auto ha = sorted_hybrid_links(a);
+  const auto hb = sorted_hybrid_links(b);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ha.size() || j < hb.size()) {
+    if (j == hb.size() || (i < ha.size() && ha[i] < hb[j])) {
+      out.hybrids_resolved.push_back(ha[i]);
+      ++i;
+    } else if (i == ha.size() || hb[j] < ha[i]) {
+      out.hybrids_formed.push_back(hb[j]);
+      ++j;
+    } else {
+      ++out.hybrids_stable;
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace htor::snapshot

@@ -1,0 +1,57 @@
+// Relationship churn between two census snapshots: per address family, which
+// links appeared, which vanished, which flipped relationship (e.g. p2p in
+// one RIB, p2c in the next), and which dual-stack links became or stopped
+// being hybrid.  This is the temporal measurement the paper motivates —
+// hybrid relationships are interesting precisely because they form and
+// resolve across successive collector RIBs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snapshot/snapshot.hpp"
+
+namespace htor::snapshot {
+
+/// A link present in both snapshots whose relationship changed.
+/// Relationships are oriented link.first -> link.second.
+struct RelChange {
+  LinkKey link;
+  Relationship before = Relationship::Unknown;
+  Relationship after = Relationship::Unknown;
+
+  friend bool operator==(const RelChange&, const RelChange&) = default;
+};
+
+/// Churn within one address family.  All vectors are in canonical LinkKey
+/// order, so the diff of two given snapshots is deterministic.
+struct FamilyDiff {
+  std::vector<LinkKey> appeared;  ///< in `b` but not `a`
+  std::vector<LinkKey> vanished;  ///< in `a` but not `b`
+  std::vector<RelChange> flips;   ///< in both, relationship differs
+  std::uint64_t unchanged = 0;    ///< in both, relationship identical
+
+  std::uint64_t churn() const {
+    return appeared.size() + vanished.size() + flips.size();
+  }
+};
+
+struct Diff {
+  FamilyDiff v4;
+  FamilyDiff v6;
+  std::vector<LinkKey> hybrids_formed;    ///< hybrid in `b` but not `a`
+  std::vector<LinkKey> hybrids_resolved;  ///< hybrid in `a` but not `b`
+  std::uint64_t hybrids_stable = 0;       ///< hybrid in both
+
+  std::uint64_t total_churn() const {
+    return v4.churn() + v6.churn() + hybrids_formed.size() + hybrids_resolved.size();
+  }
+};
+
+/// Churn from map `a` to map `b` (one address family).
+FamilyDiff diff_relationships(const RelationshipMap& a, const RelationshipMap& b);
+
+/// Full churn report from snapshot `a` to snapshot `b`.
+Diff diff_snapshots(const Snapshot& a, const Snapshot& b);
+
+}  // namespace htor::snapshot

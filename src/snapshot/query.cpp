@@ -1,0 +1,65 @@
+#include "snapshot/query.hpp"
+
+#include <algorithm>
+
+namespace htor::snapshot {
+
+QueryIndex::QueryIndex(const Snapshot& snap) {
+  auto add_family = [&](const RelationshipMap& map, bool v4) {
+    map.for_each([&](const LinkKey& key, Relationship rel) {
+      auto [it, inserted] = links_.try_emplace(key);
+      (v4 ? it->second.rel_v4 : it->second.rel_v6) = rel;
+      if (inserted) {
+        adjacency_[key.first].push_back(key.second);
+        adjacency_[key.second].push_back(key.first);
+      }
+    });
+  };
+  add_family(snap.rels_v4, true);
+  add_family(snap.rels_v6, false);
+
+  for (const auto& h : snap.hybrids) {
+    // Hybrid links come from the maps by construction, but a hand-built
+    // snapshot may list extras; index them too rather than dropping them.
+    auto [it, inserted] = links_.try_emplace(h.link);
+    if (inserted) {
+      it->second.rel_v4 = h.rel_v4;
+      it->second.rel_v6 = h.rel_v6;
+      adjacency_[h.link.first].push_back(h.link.second);
+      adjacency_[h.link.second].push_back(h.link.first);
+    }
+    if (!it->second.hybrid) {
+      it->second.hybrid = true;
+      ++hybrid_count_;
+    }
+  }
+
+  for (auto& [asn, neighbors] : adjacency_) {
+    std::sort(neighbors.begin(), neighbors.end());
+  }
+}
+
+std::optional<QueryIndex::LinkInfo> QueryIndex::lookup(Asn a, Asn b) const {
+  const auto it = links_.find(LinkKey(a, b));
+  if (it == links_.end()) return std::nullopt;
+  LinkInfo info = it->second;
+  if (a > b) {
+    // Stored orientation is first -> second; flip for the caller's view.
+    info.rel_v4 = reverse(info.rel_v4);
+    info.rel_v6 = reverse(info.rel_v6);
+  }
+  return info;
+}
+
+std::vector<QueryIndex::Neighbor> QueryIndex::neighbors(Asn asn) const {
+  std::vector<Neighbor> out;
+  const auto it = adjacency_.find(asn);
+  if (it == adjacency_.end()) return out;
+  out.reserve(it->second.size());
+  for (Asn other : it->second) {
+    out.push_back({other, *lookup(asn, other)});
+  }
+  return out;
+}
+
+}  // namespace htor::snapshot

@@ -1,0 +1,55 @@
+// In-memory query index over one loaded snapshot: AS-pair lookups
+// (rel_v4, rel_v6, hybrid?) and AS neighbor lists, built once per snapshot
+// so repeated queries are O(1) / O(degree).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "snapshot/snapshot.hpp"
+
+namespace htor::snapshot {
+
+class QueryIndex {
+ public:
+  /// Build the index over the union of both families' links plus the hybrid
+  /// list.  The snapshot itself is not retained.
+  explicit QueryIndex(const Snapshot& snap);
+
+  /// One link as seen from `a` toward `b`: relationships are oriented a -> b.
+  struct LinkInfo {
+    Relationship rel_v4 = Relationship::Unknown;
+    Relationship rel_v6 = Relationship::Unknown;
+    bool hybrid = false;
+
+    friend bool operator==(const LinkInfo&, const LinkInfo&) = default;
+  };
+
+  /// The a->b view of the link, or nullopt when neither family recorded it.
+  std::optional<LinkInfo> lookup(Asn a, Asn b) const;
+
+  struct Neighbor {
+    Asn asn = 0;
+    LinkInfo info;  ///< oriented from the queried AS toward `asn`
+  };
+
+  /// All recorded neighbors of `asn`, ascending by neighbor ASN; empty when
+  /// the AS appears in neither family's map.
+  std::vector<Neighbor> neighbors(Asn asn) const;
+
+  bool contains(Asn asn) const { return adjacency_.count(asn) != 0; }
+
+  std::size_t link_count() const { return links_.size(); }
+  std::size_t as_count() const { return adjacency_.size(); }
+  std::size_t hybrid_count() const { return hybrid_count_; }
+
+ private:
+  // Canonical orientation: key.first -> key.second.
+  std::unordered_map<LinkKey, LinkInfo, LinkKeyHash> links_;
+  std::unordered_map<Asn, std::vector<Asn>> adjacency_;
+  std::size_t hybrid_count_ = 0;
+};
+
+}  // namespace htor::snapshot

@@ -1,0 +1,106 @@
+#include "snapshot/writer.hpp"
+
+#include "util/bytes.hpp"
+
+namespace htor::snapshot {
+
+namespace {
+
+constexpr std::size_t kMaxSourceLen = 0xffff;
+
+void encode_coverage(ByteWriter& w, const CoverageCounters& c) {
+  w.u64(c.observed);
+  w.u64(c.covered);
+}
+
+void encode_valleys(ByteWriter& w, const ValleyCounters& v) {
+  w.u64(v.paths);
+  w.u64(v.valley_free);
+  w.u64(v.valley);
+  w.u64(v.incomplete);
+  w.u64(v.classified_valleys);
+  w.u64(v.necessary_valleys);
+}
+
+std::uint8_t rel_byte(Relationship rel) {
+  const auto raw = static_cast<std::uint8_t>(rel);
+  if (raw > static_cast<std::uint8_t>(Relationship::Unknown)) {
+    throw InvalidArgument("snapshot: relationship value " + std::to_string(raw) +
+                          " outside the format's range");
+  }
+  return raw;
+}
+
+void encode_link(ByteWriter& w, const LinkKey& link) {
+  if (link.first >= link.second) {
+    throw InvalidArgument("snapshot: link AS" + std::to_string(link.first) + "-AS" +
+                          std::to_string(link.second) + " is not a canonical AS pair");
+  }
+  w.u32(link.first);
+  w.u32(link.second);
+}
+
+void encode_map(ByteWriter& w, const RelationshipMap& map) {
+  const auto entries = sorted_entries(map);
+  w.u64(entries.size());
+  for (const auto& [link, rel] : entries) {
+    encode_link(w, link);
+    w.u8(rel_byte(rel));
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Writer::encode(const Snapshot& snap) {
+  if (snap.header.source.size() > kMaxSourceLen) {
+    throw InvalidArgument("snapshot: source path longer than 65535 bytes");
+  }
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u32(kFormatVersion);
+  w.u64(snap.header.timestamp);
+  w.u16(static_cast<std::uint16_t>(snap.header.source.size()));
+  w.text(snap.header.source);
+
+  w.u64(snap.dataset.v4_paths);
+  w.u64(snap.dataset.v6_paths);
+  w.u64(snap.dataset.v4_links);
+  w.u64(snap.dataset.v6_links);
+  w.u64(snap.dataset.dual_links);
+
+  encode_coverage(w, snap.coverage_v4);
+  encode_coverage(w, snap.coverage_v6);
+  encode_coverage(w, snap.coverage_dual);
+  encode_valleys(w, snap.valleys_v4);
+  encode_valleys(w, snap.valleys_v6);
+
+  w.u64(snap.hybrid_counters.dual_links_observed);
+  w.u64(snap.hybrid_counters.dual_links_both_known);
+  w.u64(snap.hybrid_counters.v6_paths_total);
+  w.u64(snap.hybrid_counters.v6_paths_with_hybrid);
+
+  encode_map(w, snap.rels_v4);
+  encode_map(w, snap.rels_v6);
+
+  w.u64(snap.hybrids.size());
+  for (const auto& h : snap.hybrids) {
+    encode_link(w, h.link);
+    w.u8(rel_byte(h.rel_v4));
+    w.u8(rel_byte(h.rel_v6));
+    if (h.cls > 3) {
+      throw InvalidArgument("snapshot: hybrid class value " + std::to_string(h.cls) +
+                            " outside the format's range");
+    }
+    w.u8(h.cls);
+    w.u64(h.v6_path_visibility);
+  }
+
+  w.u32(kTrailer);
+  return w.take();
+}
+
+void Writer::write_file(const Snapshot& snap, const std::string& path) {
+  save_bytes(path, encode(snap));
+}
+
+}  // namespace htor::snapshot

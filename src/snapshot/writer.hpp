@@ -1,0 +1,28 @@
+// Snapshot serializer.  The format is big-endian throughout (ByteWriter) and
+// fully canonical: relationship maps are written in sorted LinkKey order, so
+// the same Snapshot always produces byte-identical output — file-level
+// equality is snapshot equality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snapshot/snapshot.hpp"
+
+namespace htor::snapshot {
+
+class Writer {
+ public:
+  /// Serialize `snap` to its canonical byte form.  Throws InvalidArgument
+  /// when the snapshot is not encodable (source path over 64 KiB, a map
+  /// entry with first == second, or a relationship/class value outside the
+  /// format's range).
+  static std::vector<std::uint8_t> encode(const Snapshot& snap);
+
+  /// encode() straight to a file.  Throws Error when the file cannot be
+  /// created or fully written.
+  static void write_file(const Snapshot& snap, const std::string& path);
+};
+
+}  // namespace htor::snapshot

@@ -1,6 +1,28 @@
 #include "util/bytes.hpp"
 
+#include <fstream>
+
 namespace htor {
+
+std::vector<std::uint8_t> load_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw Error("cannot open '" + path + "'");
+  const std::streamsize size = in.tellg();
+  if (size < 0) throw Error("cannot determine size of '" + path + "'");
+  in.seekg(0);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  if (!in) throw Error("read from '" + path + "' failed");
+  return data;
+}
+
+void save_bytes(const std::string& path, std::span<const std::uint8_t> data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot write '" + path + "'");
+  out.write(reinterpret_cast<const char*>(data.data()), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) throw Error("write to '" + path + "' failed");
+}
 
 void ByteReader::require(std::size_t n) const {
   if (remaining() < n) {

@@ -53,6 +53,14 @@ class ByteReader {
   std::size_t pos_ = 0;
 };
 
+/// Read a whole binary file into memory.  Throws Error when the file cannot
+/// be opened, sized, or fully read.
+std::vector<std::uint8_t> load_bytes(const std::string& path);
+
+/// Write `data` to `path` (truncating).  Throws Error when the file cannot
+/// be created or the final flush fails — a short write never passes silently.
+void save_bytes(const std::string& path, std::span<const std::uint8_t> data);
+
 /// Append-only big-endian writer producing a byte vector.
 class ByteWriter {
  public:

@@ -8,6 +8,15 @@
 #   4. `census` on a missing rib.mrt — non-zero exit, diagnostic names the file.
 #   5. `census` on a truncated rib.mrt — non-zero exit, no partial report
 #      (skipped on hosts without /bin/sh, which is what clips the file).
+#   6. Snapshot store loop: generate a second synthetic Internet with a
+#      different seed, census both with `--snapshot-out`; snapshot files are
+#      byte-identical across --jobs values; `diff` of the two seeds reports
+#      nonzero churn; `diff` of a snapshot against itself reports zero churn;
+#      `query` resolves a known link (from truth.csv) in pair and
+#      neighbor-list mode; `diff`/`query` on a truncated snapshot fail
+#      without partial output.
+#   7. `generate` argument validation: a garbage seed ("12x") and a trailing
+#      positional argument are both rejected.
 #
 # Invoked as:
 #   cmake -DHYBRIDTOR=<path> -DWORK_DIR=<dir> -P cli_e2e.cmake
@@ -117,6 +126,157 @@ if(SH_PROGRAM)
   endif()
 else()
   message(STATUS "cli_e2e: no sh found, skipping truncated-file check")
+endif()
+
+# ------------------------------------------------------- 6. snapshot store
+set(DATA_DIR2 "${WORK_DIR}/data2")
+execute_process(COMMAND "${HYBRIDTOR}" generate "${DATA_DIR2}" 8
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate (seed 8) failed (rc=${rc}): ${out}${err}")
+endif()
+
+set(SNAP_A "${WORK_DIR}/a.snap")
+set(SNAP_A_J4 "${WORK_DIR}/a_j4.snap")
+set(SNAP_B "${WORK_DIR}/b.snap")
+execute_process(COMMAND "${HYBRIDTOR}" census --snapshot-out "${SNAP_A}"
+                        "${DATA_DIR}/rib.mrt" "${DATA_DIR}/irr.txt"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT EXISTS "${SNAP_A}")
+  message(FATAL_ERROR "census --snapshot-out failed (rc=${rc}): ${err}")
+endif()
+string(FIND "${out}" "wrote snapshot" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "census --snapshot-out did not report the snapshot:\n${out}")
+endif()
+
+# Snapshot files are part of the --jobs determinism contract: the bytes on
+# disk must be identical at any pool size.
+execute_process(COMMAND "${HYBRIDTOR}" census --jobs 4 --snapshot-out "${SNAP_A_J4}"
+                        "${DATA_DIR}/rib.mrt" "${DATA_DIR}/irr.txt"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "census --jobs 4 --snapshot-out failed (rc=${rc}): ${err}")
+endif()
+file(SHA256 "${SNAP_A}" snap_a_hash)
+file(SHA256 "${SNAP_A_J4}" snap_a_j4_hash)
+if(NOT snap_a_hash STREQUAL snap_a_j4_hash)
+  message(FATAL_ERROR "snapshot file differs between --jobs 1 and --jobs 4")
+endif()
+
+execute_process(COMMAND "${HYBRIDTOR}" census --snapshot-out "${SNAP_B}"
+                        "${DATA_DIR2}/rib.mrt" "${DATA_DIR2}/irr.txt"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT EXISTS "${SNAP_B}")
+  message(FATAL_ERROR "census --snapshot-out (seed 8) failed (rc=${rc}): ${err}")
+endif()
+
+# Two different seeds must show relationship churn.
+execute_process(COMMAND "${HYBRIDTOR}" diff "${SNAP_A}" "${SNAP_B}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE diff_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "diff a.snap b.snap failed (rc=${rc}): ${err}")
+endif()
+string(REGEX MATCH "total churn: ([0-9]+)" churn_match "${diff_out}")
+if(churn_match STREQUAL "")
+  message(FATAL_ERROR "diff output missing the total-churn line:\n${diff_out}")
+endif()
+if(CMAKE_MATCH_1 EQUAL 0)
+  message(FATAL_ERROR "diff of two different seeds reported zero churn:\n${diff_out}")
+endif()
+
+# A snapshot against itself must be churn-free.
+execute_process(COMMAND "${HYBRIDTOR}" diff "${SNAP_A}" "${SNAP_A}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE diff_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "diff a.snap a.snap failed (rc=${rc}): ${err}")
+endif()
+string(REGEX MATCH "total churn: ([0-9]+)" churn_match "${diff_out}")
+if(churn_match STREQUAL "" OR NOT CMAKE_MATCH_1 EQUAL 0)
+  message(FATAL_ERROR "self-diff must report zero churn:\n${diff_out}")
+endif()
+
+# Query a known link: walk the planted ground truth until a link the census
+# actually typed resolves (coverage is high but not 100%, so probe a few).
+file(STRINGS "${DATA_DIR}/truth.csv" truth_lines)
+list(LENGTH truth_lines truth_count)
+set(query_as "")
+foreach(idx RANGE 1 40)
+  if(idx LESS truth_count AND query_as STREQUAL "")
+    list(GET truth_lines ${idx} line)
+    string(REPLACE "," ";" fields "${line}")
+    list(GET fields 0 as_a)
+    list(GET fields 1 as_b)
+    execute_process(COMMAND "${HYBRIDTOR}" query "${SNAP_A}" "${as_a}" "${as_b}"
+                    RESULT_VARIABLE rc OUTPUT_VARIABLE query_out ERROR_VARIABLE err)
+    if(rc EQUAL 0)
+      string(FIND "${query_out}" "AS${as_a} -> AS${as_b}" at)
+      if(at EQUAL -1)
+        message(FATAL_ERROR "query output does not name the link:\n${query_out}")
+      endif()
+      set(query_as "${as_a}")
+    endif()
+  endif()
+endforeach()
+if(query_as STREQUAL "")
+  message(FATAL_ERROR "no truth.csv link resolved against the snapshot")
+endif()
+
+# Neighbor-list mode on the AS that just resolved.
+execute_process(COMMAND "${HYBRIDTOR}" query "${SNAP_A}" "${query_as}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE query_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "query neighbor mode failed (rc=${rc}): ${err}")
+endif()
+string(FIND "${query_out}" "neighbors" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "neighbor query output missing the summary line:\n${query_out}")
+endif()
+
+# Truncated snapshots must fail cleanly, with no partial diff/query output.
+if(SH_PROGRAM)
+  set(SNAP_TRUNC "${WORK_DIR}/a_truncated.snap")
+  file(SIZE "${SNAP_A}" snap_size)
+  math(EXPR snap_cut "${snap_size} - 5")
+  execute_process(COMMAND "${SH_PROGRAM}" -c
+                          "head -c ${snap_cut} '${SNAP_A}' > '${SNAP_TRUNC}'"
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "could not produce truncated snapshot")
+  endif()
+  foreach(snap_cmd "diff" "query")
+    if(snap_cmd STREQUAL "diff")
+      execute_process(COMMAND "${HYBRIDTOR}" diff "${SNAP_TRUNC}" "${SNAP_A}"
+                      RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+    else()
+      execute_process(COMMAND "${HYBRIDTOR}" query "${SNAP_TRUNC}" "${query_as}"
+                      RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+    endif()
+    if(rc EQUAL 0)
+      message(FATAL_ERROR "${snap_cmd} on a truncated snapshot must fail")
+    endif()
+    if(NOT out STREQUAL "")
+      message(FATAL_ERROR "${snap_cmd} on a truncated snapshot printed partial output:\n${out}")
+    endif()
+  endforeach()
+else()
+  message(STATUS "cli_e2e: no sh found, skipping truncated-snapshot check")
+endif()
+
+# --------------------------------------- 7. generate argument validation
+execute_process(COMMAND "${HYBRIDTOR}" generate "${WORK_DIR}/badseed" 12x
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "generate must reject the garbage seed '12x'")
+endif()
+string(FIND "${err}" "12x" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "garbage-seed diagnostic does not name the value: ${err}")
+endif()
+execute_process(COMMAND "${HYBRIDTOR}" generate "${WORK_DIR}/extra" 5 surplus
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "generate must reject trailing positional arguments")
 endif()
 
 message(STATUS "cli_e2e: all checks passed")

@@ -1,0 +1,420 @@
+// Tests for the snapshot store: lossless deterministic round-trips, the MRT
+// readers' fail-clean discipline (truncation at any byte, wrong magic, future
+// versions, out-of-range values never yield a partial snapshot), the diff
+// engine, and the query index.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "core/census_report.hpp"
+#include "core/hybrid.hpp"
+#include "core/snapshot_bridge.hpp"
+#include "gen/internet.hpp"
+#include "rpsl/object.hpp"
+#include "snapshot/diff.hpp"
+#include "snapshot/query.hpp"
+#include "snapshot/reader.hpp"
+#include "snapshot/writer.hpp"
+#include "util/bytes.hpp"
+
+namespace htor::snapshot {
+namespace {
+
+/// A real snapshot: the full census of a generated Internet.
+const Snapshot& census_snapshot() {
+  static const Snapshot snap = [] {
+    const auto net = gen::SyntheticInternet::generate(gen::small_params(21));
+    const auto dict = rpsl::mine_dictionary(rpsl::parse_objects(net.irr_dump()));
+    const auto report = core::run_census(net.collect(), dict);
+    return core::to_snapshot(report, "census/rib.mrt", 1281052800u);
+  }();
+  return snap;
+}
+
+/// A tiny handcrafted snapshot whose byte layout the format tests pin down.
+Snapshot tiny_snapshot() {
+  Snapshot snap;
+  snap.header.timestamp = 1700000000u;
+  snap.header.source = "tiny.mrt";  // 8 bytes — the offsets below assume this
+  snap.dataset = {10, 8, 5, 4, 3};
+  snap.coverage_v4 = {5, 4};
+  snap.coverage_v6 = {4, 3};
+  snap.coverage_dual = {3, 2};
+  snap.valleys_v4 = {8, 6, 1, 1, 1, 1};
+  snap.valleys_v6 = {6, 4, 2, 0, 2, 1};
+  snap.hybrid_counters = {3, 2, 8, 4};
+  snap.rels_v4.set(1, 2, Relationship::P2C);
+  snap.rels_v4.set(2, 3, Relationship::P2P);
+  snap.rels_v6.set(1, 2, Relationship::P2P);
+  snap.rels_v6.set(2, 3, Relationship::P2P);
+  snap.hybrids.push_back({LinkKey(1, 2), Relationship::P2C, Relationship::P2P,
+                          static_cast<std::uint8_t>(core::HybridClass::TransitV4PeerV6), 5});
+  return snap;
+}
+
+// Format-v1 offsets into the tiny snapshot's encoding (8-byte source path):
+// header 26, dataset 40, coverage 48, valleys 96, hybrid counters 32, then
+// the v4 map (count @242, entries of 9 bytes from 250), the v6 map
+// (@268/276), the hybrid list (count @294, one 19-byte entry @302), and the
+// trailer @321.  kTinySize pins the whole layout; a failure here means the
+// format changed and kFormatVersion must be bumped.
+constexpr std::size_t kTinyV4CountOffset = 242;
+constexpr std::size_t kTinyV4FirstEntryOffset = 250;
+constexpr std::size_t kTinyV4FirstRelOffset = 258;
+constexpr std::size_t kTinyV4SecondEntryOffset = 259;
+constexpr std::size_t kTinyHybridClsOffset = 312;
+constexpr std::size_t kTinySize = 325;
+
+TEST(SnapshotRoundTrip, TinyLossless) {
+  const Snapshot original = tiny_snapshot();
+  const auto bytes = Writer::encode(original);
+  EXPECT_EQ(bytes.size(), kTinySize);
+
+  const Snapshot decoded = Reader::decode(bytes);
+  EXPECT_TRUE(equal(original, decoded));
+  EXPECT_EQ(decoded.header.version, kFormatVersion);
+  EXPECT_EQ(decoded.header.timestamp, 1700000000u);
+  EXPECT_EQ(decoded.header.source, "tiny.mrt");
+  EXPECT_EQ(decoded.rels_v4.get(1, 2), Relationship::P2C);
+  EXPECT_EQ(decoded.rels_v4.get(2, 1), Relationship::C2P);
+  ASSERT_EQ(decoded.hybrids.size(), 1u);
+  EXPECT_EQ(decoded.hybrids[0].v6_path_visibility, 5u);
+
+  // Re-encoding the decoded snapshot reproduces the bytes exactly.
+  EXPECT_EQ(Writer::encode(decoded), bytes);
+}
+
+TEST(SnapshotRoundTrip, CensusLossless) {
+  const Snapshot& original = census_snapshot();
+  ASSERT_GT(original.rels_v4.size(), 0u);
+  ASSERT_GT(original.rels_v6.size(), 0u);
+  ASSERT_GT(original.hybrids.size(), 0u);
+
+  const auto bytes = Writer::encode(original);
+  const Snapshot decoded = Reader::decode(bytes);
+  EXPECT_TRUE(equal(original, decoded));
+  EXPECT_EQ(decoded.dataset, original.dataset);
+  EXPECT_EQ(decoded.coverage_dual, original.coverage_dual);
+  EXPECT_EQ(decoded.valleys_v6, original.valleys_v6);
+  EXPECT_EQ(decoded.hybrid_counters, original.hybrid_counters);
+  EXPECT_EQ(decoded.hybrids, original.hybrids);
+  EXPECT_TRUE(same_entries(decoded.rels_v4, original.rels_v4));
+  EXPECT_TRUE(same_entries(decoded.rels_v6, original.rels_v6));
+  EXPECT_EQ(Writer::encode(decoded), bytes);
+}
+
+// The canonical encoding is independent of map insertion order and of the
+// census thread count: the same measurement always yields the same bytes.
+TEST(SnapshotRoundTrip, EncodingIsCanonical) {
+  Snapshot a = tiny_snapshot();
+  Snapshot b;
+  b.header = a.header;
+  b.dataset = a.dataset;
+  b.coverage_v4 = a.coverage_v4;
+  b.coverage_v6 = a.coverage_v6;
+  b.coverage_dual = a.coverage_dual;
+  b.valleys_v4 = a.valleys_v4;
+  b.valleys_v6 = a.valleys_v6;
+  b.hybrid_counters = a.hybrid_counters;
+  // Reverse insertion order and orientation; the canonical form is the same.
+  b.rels_v4.set(3, 2, Relationship::P2P);
+  b.rels_v4.set(2, 1, Relationship::C2P);
+  b.rels_v6.set(3, 2, Relationship::P2P);
+  b.rels_v6.set(2, 1, Relationship::P2P);
+  b.hybrids = a.hybrids;
+  EXPECT_EQ(Writer::encode(a), Writer::encode(b));
+}
+
+TEST(SnapshotRoundTrip, CensusJobsDeterministic) {
+  const auto net = gen::SyntheticInternet::generate(gen::small_params(21));
+  const auto rib = net.collect();
+  const auto dict = rpsl::mine_dictionary(rpsl::parse_objects(net.irr_dump()));
+  std::vector<std::uint8_t> reference;
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    core::InferenceConfig config;
+    config.threads = jobs;
+    const auto report = core::run_census(rib, dict, config);
+    const auto bytes = Writer::encode(core::to_snapshot(report, "census/rib.mrt", 1281052800u));
+    if (reference.empty()) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference) << "snapshot differs at jobs=" << jobs;
+    }
+  }
+}
+
+TEST(SnapshotFile, RoundTripAndMissingFile) {
+  const std::string path = ::testing::TempDir() + "/roundtrip.snap";
+  Writer::write_file(census_snapshot(), path);
+  const Snapshot loaded = Reader::read_file(path);
+  EXPECT_TRUE(equal(loaded, census_snapshot()));
+  std::remove(path.c_str());
+
+  EXPECT_THROW(Reader::read_file("/nonexistent/nope.snap"), Error);
+  EXPECT_THROW(Writer::write_file(census_snapshot(), "/nonexistent/dir/out.snap"), Error);
+}
+
+// The acceptance criterion verbatim: EVERY truncated prefix of a valid
+// snapshot fails with DecodeError — no byte boundary yields a partial
+// snapshot.
+TEST(SnapshotRobustness, TruncationSweepEveryByte) {
+  const auto bytes = Writer::encode(tiny_snapshot());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::span<const std::uint8_t> cut(bytes.data(), len);
+    EXPECT_THROW(Reader::decode(cut), DecodeError) << "cut at " << len;
+  }
+}
+
+// Same sweep, strided, over the much larger census snapshot (its map regions
+// exercise the count-vs-remaining bound and mid-entry cuts at scale).
+TEST(SnapshotRobustness, TruncationSweepCensusStrided) {
+  const auto bytes = Writer::encode(census_snapshot());
+  for (std::size_t len = 0; len < bytes.size(); len += (len < 512 ? 7 : 487)) {
+    const std::span<const std::uint8_t> cut(bytes.data(), len);
+    EXPECT_THROW(Reader::decode(cut), DecodeError) << "cut at " << len;
+  }
+}
+
+TEST(SnapshotRobustness, WrongMagicIsReasoned) {
+  auto bytes = Writer::encode(tiny_snapshot());
+  bytes[0] ^= 0xff;
+  try {
+    Reader::decode(bytes);
+    FAIL() << "decode accepted a bad magic";
+  } catch (const DecodeError& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SnapshotRobustness, FutureVersionIsReasoned) {
+  auto bytes = Writer::encode(tiny_snapshot());
+  // Version field is bytes 4..7 big-endian; declare a future major version.
+  bytes[4] = 0;
+  bytes[5] = 0;
+  bytes[6] = 0;
+  bytes[7] = static_cast<std::uint8_t>(kFormatVersion + 1);
+  try {
+    Reader::decode(bytes);
+    FAIL() << "decode accepted a future format version";
+  } catch (const DecodeError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos) << e.what();
+  }
+  // Version 0 is equally invalid.
+  bytes[7] = 0;
+  EXPECT_THROW(Reader::decode(bytes), DecodeError);
+}
+
+TEST(SnapshotRobustness, TrailingGarbageThrows) {
+  auto bytes = Writer::encode(tiny_snapshot());
+  bytes.push_back(0x00);
+  EXPECT_THROW(Reader::decode(bytes), DecodeError);
+}
+
+TEST(SnapshotRobustness, OutOfRangeRelationshipThrows) {
+  auto bytes = Writer::encode(tiny_snapshot());
+  ASSERT_EQ(bytes[kTinyV4FirstRelOffset], static_cast<std::uint8_t>(Relationship::P2C));
+  bytes[kTinyV4FirstRelOffset] = 9;
+  EXPECT_THROW(Reader::decode(bytes), DecodeError);
+}
+
+TEST(SnapshotRobustness, OutOfRangeHybridClassThrows) {
+  auto bytes = Writer::encode(tiny_snapshot());
+  ASSERT_EQ(bytes[kTinyHybridClsOffset],
+            static_cast<std::uint8_t>(core::HybridClass::TransitV4PeerV6));
+  bytes[kTinyHybridClsOffset] = 7;
+  EXPECT_THROW(Reader::decode(bytes), DecodeError);
+}
+
+TEST(SnapshotRobustness, NonCanonicalPairThrows) {
+  auto bytes = Writer::encode(tiny_snapshot());
+  // Rewrite the first v4 entry's link from (1,2) to (2,1).
+  const std::uint8_t swapped[8] = {0, 0, 0, 2, 0, 0, 0, 1};
+  std::copy(std::begin(swapped), std::end(swapped),
+            bytes.begin() + static_cast<long>(kTinyV4FirstEntryOffset));
+  EXPECT_THROW(Reader::decode(bytes), DecodeError);
+}
+
+TEST(SnapshotRobustness, OutOfOrderEntriesThrow) {
+  auto bytes = Writer::encode(tiny_snapshot());
+  // Rewrite the second v4 entry's link from (2,3) to (1,2): duplicates the
+  // first entry, breaking the strictly-ascending canonical order.
+  const std::uint8_t duplicate[8] = {0, 0, 0, 1, 0, 0, 0, 2};
+  std::copy(std::begin(duplicate), std::end(duplicate),
+            bytes.begin() + static_cast<long>(kTinyV4SecondEntryOffset));
+  EXPECT_THROW(Reader::decode(bytes), DecodeError);
+}
+
+// A garbage count field must fail against the bytes actually present, before
+// any allocation proportional to the claimed count.
+TEST(SnapshotRobustness, CountOverrunFailsFast) {
+  auto bytes = Writer::encode(tiny_snapshot());
+  for (std::size_t i = 0; i < 8; ++i) bytes[kTinyV4CountOffset + i] = 0xff;
+  try {
+    Reader::decode(bytes);
+    FAIL() << "decode accepted an absurd entry count";
+  } catch (const DecodeError& e) {
+    EXPECT_NE(std::string(e.what()).find("overruns"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SnapshotWriter, RejectsUnencodableSnapshots) {
+  Snapshot self_link = tiny_snapshot();
+  self_link.rels_v4.set(5, 5, Relationship::P2P);  // LinkKey(5,5): first == second
+  EXPECT_THROW(Writer::encode(self_link), InvalidArgument);
+
+  Snapshot long_source = tiny_snapshot();
+  long_source.header.source.assign(70000, 'x');
+  EXPECT_THROW(Writer::encode(long_source), InvalidArgument);
+}
+
+TEST(SnapshotProbe, ReadsHeaderOnly) {
+  const auto bytes = Writer::encode(census_snapshot());
+  const Header header = Reader::probe(bytes);
+  EXPECT_EQ(header.version, kFormatVersion);
+  EXPECT_EQ(header.timestamp, 1281052800u);
+  EXPECT_EQ(header.source, "census/rib.mrt");
+  // Probing a buffer cut inside the header still fails cleanly.
+  const std::span<const std::uint8_t> cut(bytes.data(), 10);
+  EXPECT_THROW(Reader::probe(cut), DecodeError);
+}
+
+// ---------------------------------------------------------------- diff
+
+TEST(SnapshotDiff, SelfDiffIsZeroChurn) {
+  const Snapshot& snap = census_snapshot();
+  const Diff diff = diff_snapshots(snap, snap);
+  EXPECT_EQ(diff.total_churn(), 0u);
+  EXPECT_EQ(diff.v4.unchanged, snap.rels_v4.size());
+  EXPECT_EQ(diff.v6.unchanged, snap.rels_v6.size());
+  EXPECT_EQ(diff.hybrids_stable, snap.hybrids.size());
+  EXPECT_TRUE(diff.v4.appeared.empty());
+  EXPECT_TRUE(diff.v4.vanished.empty());
+  EXPECT_TRUE(diff.v4.flips.empty());
+}
+
+TEST(SnapshotDiff, ReportsChurnBuckets) {
+  RelationshipMap a;
+  a.set(1, 2, Relationship::P2C);   // will flip to P2P
+  a.set(2, 3, Relationship::P2P);   // unchanged
+  a.set(3, 4, Relationship::C2P);   // vanishes
+  RelationshipMap b;
+  b.set(1, 2, Relationship::P2P);
+  b.set(2, 3, Relationship::P2P);
+  b.set(4, 5, Relationship::S2S);   // appears
+
+  const FamilyDiff diff = diff_relationships(a, b);
+  EXPECT_EQ(diff.appeared, (std::vector<LinkKey>{LinkKey(4, 5)}));
+  EXPECT_EQ(diff.vanished, (std::vector<LinkKey>{LinkKey(3, 4)}));
+  ASSERT_EQ(diff.flips.size(), 1u);
+  EXPECT_EQ(diff.flips[0],
+            (RelChange{LinkKey(1, 2), Relationship::P2C, Relationship::P2P}));
+  EXPECT_EQ(diff.unchanged, 1u);
+  EXPECT_EQ(diff.churn(), 3u);
+}
+
+TEST(SnapshotDiff, TracksHybridFormationAndResolution) {
+  Snapshot a = tiny_snapshot();  // hybrid on (1,2)
+  Snapshot b = tiny_snapshot();
+  b.hybrids.clear();
+  b.hybrids.push_back({LinkKey(2, 3), Relationship::P2P, Relationship::P2C,
+                       static_cast<std::uint8_t>(core::HybridClass::PeerV4TransitV6), 3});
+
+  const Diff diff = diff_snapshots(a, b);
+  EXPECT_EQ(diff.hybrids_formed, (std::vector<LinkKey>{LinkKey(2, 3)}));
+  EXPECT_EQ(diff.hybrids_resolved, (std::vector<LinkKey>{LinkKey(1, 2)}));
+  EXPECT_EQ(diff.hybrids_stable, 0u);
+  EXPECT_EQ(diff.v4.churn(), 0u);
+  EXPECT_EQ(diff.v6.churn(), 0u);
+  EXPECT_EQ(diff.total_churn(), 2u);
+}
+
+// Diff output is canonically ordered: shuffled insertion produces the same
+// sorted vectors.
+TEST(SnapshotDiff, OutputIsCanonicallyOrdered) {
+  RelationshipMap a;
+  RelationshipMap b;
+  for (const Asn asn : {9, 3, 7, 5}) {
+    b.set(asn, asn + 1, Relationship::P2P);
+  }
+  const FamilyDiff diff = diff_relationships(a, b);
+  const std::vector<LinkKey> expected = {LinkKey(3, 4), LinkKey(5, 6), LinkKey(7, 8),
+                                         LinkKey(9, 10)};
+  EXPECT_EQ(diff.appeared, expected);
+}
+
+// ---------------------------------------------------------------- query
+
+TEST(SnapshotQuery, PairLookupIsOriented) {
+  const QueryIndex index(tiny_snapshot());
+  const auto forward = index.lookup(1, 2);
+  ASSERT_TRUE(forward.has_value());
+  EXPECT_EQ(forward->rel_v4, Relationship::P2C);
+  EXPECT_EQ(forward->rel_v6, Relationship::P2P);
+  EXPECT_TRUE(forward->hybrid);
+
+  const auto backward = index.lookup(2, 1);
+  ASSERT_TRUE(backward.has_value());
+  EXPECT_EQ(backward->rel_v4, Relationship::C2P);
+  EXPECT_EQ(backward->rel_v6, Relationship::P2P);
+  EXPECT_TRUE(backward->hybrid);
+
+  EXPECT_FALSE(index.lookup(1, 3).has_value());
+  EXPECT_FALSE(index.lookup(99, 100).has_value());
+}
+
+TEST(SnapshotQuery, NeighborListsAreSortedAndComplete) {
+  const QueryIndex index(tiny_snapshot());
+  EXPECT_EQ(index.link_count(), 2u);
+  EXPECT_EQ(index.as_count(), 3u);
+  EXPECT_EQ(index.hybrid_count(), 1u);
+
+  const auto neighbors = index.neighbors(2);
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_EQ(neighbors[0].asn, 1u);
+  EXPECT_EQ(neighbors[0].info.rel_v4, Relationship::C2P);  // 2 -> 1
+  EXPECT_TRUE(neighbors[0].info.hybrid);
+  EXPECT_EQ(neighbors[1].asn, 3u);
+  EXPECT_EQ(neighbors[1].info.rel_v4, Relationship::P2P);
+  EXPECT_FALSE(neighbors[1].info.hybrid);
+
+  EXPECT_TRUE(index.neighbors(42).empty());
+  EXPECT_FALSE(index.contains(42));
+  EXPECT_TRUE(index.contains(3));
+}
+
+// A link only one family knows still resolves, with the other family
+// Unknown.
+TEST(SnapshotQuery, SingleFamilyLinksResolve) {
+  Snapshot snap;
+  snap.rels_v6.set(10, 11, Relationship::C2P);
+  const QueryIndex index(snap);
+  const auto info = index.lookup(10, 11);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->rel_v4, Relationship::Unknown);
+  EXPECT_EQ(info->rel_v6, Relationship::C2P);
+  EXPECT_FALSE(info->hybrid);
+}
+
+TEST(SnapshotQuery, AgreesWithCensusMaps) {
+  const Snapshot& snap = census_snapshot();
+  const QueryIndex index(snap);
+  std::size_t checked = 0;
+  for (const auto& [link, rel] : sorted_entries(snap.rels_v4)) {
+    const auto info = index.lookup(link.first, link.second);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->rel_v4, rel);
+    if (++checked == 64) break;
+  }
+  for (const auto& h : snap.hybrids) {
+    const auto info = index.lookup(h.link.first, h.link.second);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_TRUE(info->hybrid);
+    EXPECT_EQ(info->rel_v4, h.rel_v4);
+    EXPECT_EQ(info->rel_v6, h.rel_v6);
+  }
+}
+
+}  // namespace
+}  // namespace htor::snapshot

@@ -9,19 +9,29 @@
 //                              (works on real RouteViews TABLE_DUMP_V2 files
 //                              plus any IRR text dump)
 //   inspect <rib.mrt>          per-record summary of an MRT file
+//   diff    <a.snap> <b.snap>  relationship churn between two snapshots
+//   query   <snap> <asn> [asn2]
+//                              AS-pair relationship / AS neighbor-list lookup
+//                              against a snapshot
 //
 // The census subcommand is the adoption path for real data: it consumes
-// nothing but the two files.
+// nothing but the two files.  `census --snapshot-out <file>` additionally
+// persists the report's durable core (relationship maps, hybrid links,
+// coverage/valley counters) as a versioned binary snapshot; `diff` and
+// `query` consume those snapshots, which is how multi-RIB temporal studies
+// avoid re-running the census per question.
 //
 // `--jobs N` (anywhere on the command line) sizes the census thread pool:
 // 1 (the default) runs fully sequential, 0 uses one worker per hardware
-// thread.  Every value produces byte-identical reports.
+// thread.  Every value produces byte-identical reports and byte-identical
+// snapshot files.
 //
 // `census` ingests the MRT file by streaming it: headers are scanned
 // sequentially, record bodies decode in parallel batches, and routes join
 // straight into the RIB, so peak memory stays one batch deep instead of
 // ~3× the decoded RIB.  `--no-stream` selects the legacy load-all path;
 // both paths produce byte-identical reports.
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -32,11 +42,16 @@
 
 #include "core/census_report.hpp"
 #include "core/pipeline.hpp"
+#include "core/snapshot_bridge.hpp"
 #include "gen/internet.hpp"
 #include "mrt/reader.hpp"
 #include "mrt/stream_reader.hpp"
 #include "mrt/writer.hpp"
 #include "rpsl/object.hpp"
+#include "snapshot/diff.hpp"
+#include "snapshot/query.hpp"
+#include "snapshot/reader.hpp"
+#include "snapshot/writer.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -50,11 +65,8 @@ using namespace htor;
 constexpr std::size_t kMaxJobs = 4096;
 
 std::optional<std::size_t> parse_jobs(const std::string& value) {
-  const bool digits_only =
-      !value.empty() &&
-      value.find_first_not_of("0123456789") == std::string::npos;
-  const unsigned long long parsed = digits_only ? std::strtoull(value.c_str(), nullptr, 10) : 0;
-  if (!digits_only || parsed > kMaxJobs) {
+  std::uint64_t parsed = 0;
+  if (!parse_u64(value, parsed) || parsed > kMaxJobs) {
     std::cerr << "error: --jobs expects an integer in [0, " << kMaxJobs << "], got '" << value
               << "'\n";
     return std::nullopt;
@@ -62,11 +74,35 @@ std::optional<std::size_t> parse_jobs(const std::string& value) {
   return static_cast<std::size_t>(parsed);
 }
 
+/// Strict seed parse for `generate` — same discipline as --jobs: digits
+/// only, no silent truncation of garbage like "12x" or "abc".
+std::optional<std::uint64_t> parse_seed(const std::string& value) {
+  std::uint64_t parsed = 0;
+  if (!parse_u64(value, parsed)) {
+    std::cerr << "error: generate expects a non-negative integer seed, got '" << value << "'\n";
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+/// Strict ASN parse for `query` (32-bit, RFC 6793).
+std::optional<Asn> parse_asn(const std::string& value) {
+  std::uint64_t parsed = 0;
+  if (!parse_u64(value, parsed) || parsed > 0xffffffffull) {
+    std::cerr << "error: '" << value << "' is not a valid ASN (expected 0..4294967295)\n";
+    return std::nullopt;
+  }
+  return static_cast<Asn>(parsed);
+}
+
 int usage() {
   std::cerr << "usage:\n"
                "  hybridtor generate <outdir> [seed]\n"
-               "  hybridtor census [--jobs N] [--no-stream] <rib.mrt> <irr.txt>\n"
-               "  hybridtor inspect <rib.mrt>\n";
+               "  hybridtor census [--jobs N] [--no-stream] [--snapshot-out <file>]\n"
+               "                   <rib.mrt> <irr.txt>\n"
+               "  hybridtor inspect <rib.mrt>\n"
+               "  hybridtor diff <a.snap> <b.snap>\n"
+               "  hybridtor query <snap> <asn> [asn2]\n";
   return 2;
 }
 
@@ -101,9 +137,12 @@ int cmd_generate(const std::string& outdir, std::uint64_t seed) {
   std::ofstream irr(outdir + "/irr.txt");
   if (!irr) throw Error("cannot write " + outdir + "/irr.txt");
   irr << net.irr_dump();
+  irr.flush();
+  if (!irr) throw Error("write to " + outdir + "/irr.txt failed");
   std::cout << "wrote " << outdir << "/irr.txt\n";
 
   std::ofstream truth(outdir + "/truth.csv");
+  if (!truth) throw Error("cannot write " + outdir + "/truth.csv");
   truth << "as_a,as_b,rel_v4,rel_v6,hybrid\n";
   net.graph().for_each_link(IpVersion::V4, [&](const LinkKey& key) {
     const auto r4 = net.truth(IpVersion::V4).get(key.first, key.second);
@@ -111,12 +150,23 @@ int cmd_generate(const std::string& outdir, std::uint64_t seed) {
     truth << key.first << ',' << key.second << ',' << to_string(r4) << ',' << to_string(r6)
           << ',' << (r6 != Relationship::Unknown && r4 != r6 ? 1 : 0) << '\n';
   });
+  truth.flush();
+  if (!truth) throw Error("write to " + outdir + "/truth.csv failed");
   std::cout << "wrote " << outdir << "/truth.csv\n";
   return 0;
 }
 
+/// The RIB's epoch: the MRT timestamp of the dump's first record.  This (not
+/// wall clock) stamps snapshots, so re-running the census on the same input
+/// reproduces the snapshot byte for byte.
+std::uint64_t rib_epoch(const std::string& mrt_path) {
+  mrt::MrtStreamReader stream(mrt_path);
+  if (const auto frame = stream.next()) return frame->timestamp;
+  return 0;
+}
+
 int cmd_census(const std::string& mrt_path, const std::string& irr_path, std::size_t jobs,
-               bool streaming) {
+               bool streaming, const std::optional<std::string>& snapshot_out) {
   // Fail fast on unreadable or truncated input: no partial census is ever
   // printed — the single diagnostic below names the file and the reason.
   ThreadPool pool(jobs);
@@ -170,6 +220,14 @@ int cmd_census(const std::string& mrt_path, const std::string& irr_path, std::si
     }
     top.print(std::cout);
   }
+
+  if (snapshot_out) {
+    const auto snap = core::to_snapshot(census, mrt_path, rib_epoch(mrt_path));
+    snapshot::Writer::write_file(snap, *snapshot_out);
+    std::cout << "\nwrote snapshot " << *snapshot_out << " (v4 links "
+              << snap.rels_v4.size() << ", v6 links " << snap.rels_v6.size() << ", hybrids "
+              << snap.hybrids.size() << ")\n";
+  }
   return 0;
 }
 
@@ -207,14 +265,103 @@ int cmd_inspect(const std::string& mrt_path) {
   return 0;
 }
 
+snapshot::Snapshot load_snapshot(const std::string& path) {
+  try {
+    return snapshot::Reader::read_file(path);
+  } catch (const Error& e) {
+    throw Error(path + ": " + e.what());
+  }
+}
+
+std::string link_name(const LinkKey& link) {
+  return "AS" + std::to_string(link.first) + "-AS" + std::to_string(link.second);
+}
+
+std::string describe(const snapshot::Snapshot& snap) {
+  return snap.header.source + " @ " + std::to_string(snap.header.timestamp) + " (v4 links " +
+         std::to_string(snap.rels_v4.size()) + ", v6 links " +
+         std::to_string(snap.rels_v6.size()) + ", hybrids " +
+         std::to_string(snap.hybrids.size()) + ")";
+}
+
+int cmd_diff(const std::string& path_a, const std::string& path_b) {
+  const auto a = load_snapshot(path_a);
+  const auto b = load_snapshot(path_b);
+  const auto diff = snapshot::diff_snapshots(a, b);
+
+  std::cout << "a: " << path_a << ": " << describe(a) << "\n"
+            << "b: " << path_b << ": " << describe(b) << "\n\n";
+
+  Table t({"family", "appeared", "vanished", "flips", "unchanged"});
+  const auto row = [&](const char* name, const snapshot::FamilyDiff& fam) {
+    t.row({name, std::to_string(fam.appeared.size()), std::to_string(fam.vanished.size()),
+           std::to_string(fam.flips.size()), std::to_string(fam.unchanged)});
+  };
+  row("v4", diff.v4);
+  row("v6", diff.v6);
+  t.print(std::cout);
+
+  std::cout << "hybrids: formed " << diff.hybrids_formed.size() << ", resolved "
+            << diff.hybrids_resolved.size() << ", stable " << diff.hybrids_stable << "\n";
+
+  const auto show_flips = [](const char* name, const snapshot::FamilyDiff& fam) {
+    if (fam.flips.empty()) return;
+    std::cout << "\n" << name << " relationship flips (first "
+              << std::min<std::size_t>(fam.flips.size(), 10) << " of " << fam.flips.size()
+              << "):\n";
+    for (std::size_t i = 0; i < fam.flips.size() && i < 10; ++i) {
+      const auto& flip = fam.flips[i];
+      std::cout << "  " << link_name(flip.link) << ": " << to_string(flip.before) << " -> "
+                << to_string(flip.after) << "\n";
+    }
+  };
+  show_flips("v4", diff.v4);
+  show_flips("v6", diff.v6);
+
+  std::cout << "\ntotal churn: " << diff.total_churn() << "\n";
+  return 0;
+}
+
+int cmd_query(const std::string& snap_path, Asn asn, std::optional<Asn> other) {
+  const auto snap = load_snapshot(snap_path);
+  const snapshot::QueryIndex index(snap);
+
+  if (other) {
+    const auto info = index.lookup(asn, *other);
+    if (!info) {
+      std::cerr << "AS" << asn << "-AS" << *other << ": no relationship recorded in "
+                << snap_path << "\n";
+      return 1;
+    }
+    std::cout << "AS" << asn << " -> AS" << *other << ": v4 " << to_string(info->rel_v4)
+              << ", v6 " << to_string(info->rel_v6) << (info->hybrid ? ", hybrid" : "") << "\n";
+    return 0;
+  }
+
+  if (!index.contains(asn)) {
+    std::cerr << "AS" << asn << ": not present in " << snap_path << "\n";
+    return 1;
+  }
+  const auto neighbors = index.neighbors(asn);
+  std::cout << "AS" << asn << ": " << neighbors.size() << " neighbors in " << snap_path << "\n";
+  Table t({"neighbor", "v4", "v6", "hybrid"});
+  for (const auto& n : neighbors) {
+    t.row({"AS" + std::to_string(n.asn), to_string(n.info.rel_v4), to_string(n.info.rel_v6),
+           n.info.hybrid ? "yes" : ""});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Split the command line into positionals and the --jobs option, which is
-  // accepted anywhere (before or after the subcommand's file arguments).
+  // Split the command line into positionals and options, which are accepted
+  // anywhere (before or after the subcommand's file arguments).
   std::vector<std::string> args;
   std::size_t jobs = 1;
   bool streaming = true;
+  std::optional<std::string> snapshot_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--no-stream") {
@@ -237,17 +384,53 @@ int main(int argc, char** argv) {
       jobs = *parsed;
       continue;
     }
+    if (arg == "--snapshot-out" || arg.rfind("--snapshot-out=", 0) == 0) {
+      if (arg.size() > 14 && arg[14] == '=') {
+        snapshot_out = arg.substr(15);
+      } else if (i + 1 < argc) {
+        snapshot_out = argv[++i];
+      }
+      // Reject an empty/missing path now, not after the whole census has run.
+      if (!snapshot_out || snapshot_out->empty()) {
+        std::cerr << "error: --snapshot-out requires a non-empty path\n";
+        return 2;
+      }
+      continue;
+    }
     args.push_back(arg);
   }
   if (args.empty()) return usage();
   const std::string& cmd = args[0];
+  if (snapshot_out && cmd != "census") {
+    std::cerr << "error: --snapshot-out is only valid with the census subcommand\n";
+    return 2;
+  }
   try {
-    if (cmd == "generate" && args.size() >= 2) {
-      const std::uint64_t seed = args.size() >= 3 ? std::strtoull(args[2].c_str(), nullptr, 10) : 42;
+    if (cmd == "generate" && (args.size() == 2 || args.size() == 3)) {
+      std::uint64_t seed = 42;
+      if (args.size() == 3) {
+        const auto parsed = parse_seed(args[2]);
+        if (!parsed) return 2;
+        seed = *parsed;
+      }
       return cmd_generate(args[1], seed);
     }
-    if (cmd == "census" && args.size() == 3) return cmd_census(args[1], args[2], jobs, streaming);
+    if (cmd == "census" && args.size() == 3) {
+      return cmd_census(args[1], args[2], jobs, streaming, snapshot_out);
+    }
     if (cmd == "inspect" && args.size() == 2) return cmd_inspect(args[1]);
+    if (cmd == "diff" && args.size() == 3) return cmd_diff(args[1], args[2]);
+    if (cmd == "query" && (args.size() == 3 || args.size() == 4)) {
+      const auto asn = parse_asn(args[2]);
+      if (!asn) return 2;
+      std::optional<Asn> other;
+      if (args.size() == 4) {
+        const auto parsed = parse_asn(args[3]);
+        if (!parsed) return 2;
+        other = *parsed;
+      }
+      return cmd_query(args[1], *asn, other);
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
