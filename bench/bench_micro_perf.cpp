@@ -18,17 +18,24 @@
 #include "mrt/stream_reader.hpp"
 #include "mrt/writer.hpp"
 #include "rpsl/object.hpp"
+#include "server/daemon.hpp"
+#include "server/http.hpp"
 #include "topology/reachability.hpp"
 #include "topology/valley.hpp"
 #include "util/thread_pool.hpp"
 
 #if defined(__unix__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/resource.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 #endif
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 
 namespace {
@@ -358,6 +365,118 @@ void BM_SnapshotDiff(benchmark::State& state) {
   state.counters["churn"] = static_cast<double>(churn);
 }
 BENCHMARK(BM_SnapshotDiff);
+
+// --- query daemon ------------------------------------------------------------
+
+#if defined(__unix__)
+
+/// A started daemon over the census snapshot, shared by every measurement.
+/// jobs = 4 so concurrent closed-loop clients actually overlap.
+server::QueryDaemon& serve_fixture() {
+  static server::QueryDaemon* daemon = [] {
+    static const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("htor_bench_serve_" + std::to_string(::getpid()) + ".snap"))
+            .string();
+    snapshot::Writer::write_file(snapshot_fixture(), path);
+    server::DaemonConfig config;
+    config.port = 0;  // ephemeral
+    config.jobs = 4;
+    auto* d = new server::QueryDaemon(path, config);
+    d->start();
+    return d;
+  }();
+  return *daemon;
+}
+
+/// In-process routing cost: parse-free request -> response, no sockets.
+/// The gap between this and BM_ServeThroughput is the transport.
+void BM_ServeRouting(benchmark::State& state) {
+  auto& daemon = serve_fixture();
+  const auto entries = snapshot::sorted_entries(snapshot_fixture().rels_v4);
+  server::HttpRequest request;
+  request.method = "GET";
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& link = entries[i % entries.size()].first;
+    request.target = "/v1/link/" + std::to_string(link.first) + "/" +
+                     std::to_string(link.second);
+    auto resp = daemon.handle(request);
+    benchmark::DoNotOptimize(resp);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeRouting);
+
+/// Closed-loop load generator over loopback: each benchmark thread holds
+/// one keep-alive connection and plays one request/response round trip per
+/// iteration, so items_per_second is the daemon's requests/sec at that
+/// concurrency.
+void BM_ServeThroughput(benchmark::State& state) {
+  auto& daemon = serve_fixture();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(daemon.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    state.SkipWithError("cannot connect to the bench daemon");
+    return;
+  }
+  const auto entries = snapshot::sorted_entries(snapshot_fixture().rels_v4);
+  const auto& link = entries[entries.size() / 2].first;
+  const std::string request = "GET /v1/link/" + std::to_string(link.first) + "/" +
+                              std::to_string(link.second) + " HTTP/1.1\r\n\r\n";
+  std::string buffer;
+  char chunk[8192];
+  for (auto _ : state) {
+    std::string_view out = request;
+    while (!out.empty()) {
+      const ssize_t n = ::send(fd, out.data(), out.size(), MSG_NOSIGNAL);
+      if (n <= 0) {
+        state.SkipWithError("send failed");
+        ::close(fd);
+        return;
+      }
+      out.remove_prefix(static_cast<std::size_t>(n));
+    }
+    // Consume exactly one response: header block, then Content-Length body.
+    std::size_t header_end = std::string::npos;
+    while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        state.SkipWithError("daemon closed the connection");
+        ::close(fd);
+        return;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    std::size_t content_length = 0;
+    const auto cl = buffer.find("Content-Length: ");
+    if (cl != std::string::npos && cl < header_end) {
+      content_length = static_cast<std::size_t>(std::atol(buffer.c_str() + cl + 16));
+    }
+    const std::size_t total = header_end + 4 + content_length;
+    while (buffer.size() < total) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        state.SkipWithError("daemon closed mid-body");
+        ::close(fd);
+        return;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    buffer.erase(0, total);
+  }
+  ::close(fd);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["connections"] = benchmark::Counter(static_cast<double>(state.threads()),
+                                                     benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_ServeThroughput)->Threads(1)->Threads(4)->UseRealTime();
+
+#endif  // __unix__
 
 }  // namespace
 

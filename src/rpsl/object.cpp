@@ -35,9 +35,9 @@ std::optional<Asn> RpslObject::autnum() const {
   if (v.size() < 3 || (v[0] != 'A' && v[0] != 'a') || (v[1] != 'S' && v[1] != 's')) {
     return std::nullopt;
   }
-  std::uint64_t asn = 0;
-  if (!parse_u64(v.substr(2), asn) || asn > 0xffffffffull) return std::nullopt;
-  return static_cast<Asn>(asn);
+  Asn asn = 0;
+  if (!parse_asn(v.substr(2), asn)) return std::nullopt;
+  return asn;
 }
 
 std::vector<RpslObject> parse_objects(std::string_view text) {

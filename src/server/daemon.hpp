@@ -1,0 +1,158 @@
+// The query daemon: a long-running HTTP/1.1 server over one loaded snapshot.
+//
+// `hybridtor serve <snapshot> --port N` builds a QueryDaemon, which loads
+// the snapshot once into a snapshot::QueryIndex and then serves lookups
+// from memory — the daemon is what turns the batch census pipeline into a
+// serving system.  Architecture:
+//
+//   - One acceptor thread polls the listening socket (200 ms ticks so stop
+//     and reload requests are honoured promptly) and hands each accepted
+//     connection to the shared util::ThreadPool, sized by --jobs.
+//   - Each connection runs a keep-alive read/parse/respond pump built on
+//     server::RequestParser; malformed or over-limit requests get a
+//     reasoned 4xx JSON body and the connection closes.  A connection that
+//     has nothing readable after one poll tick *yields its worker* — the
+//     pump re-enqueues itself on the pool — so idle keep-alive clients
+//     round-robin with new connections instead of pinning workers (two
+//     lazy clients cannot starve /v1/healthz).  Idle connections are
+//     reaped after `idle_timeout_ms`.
+//   - The serving state (decoded Snapshot + QueryIndex + epoch counter) is
+//     immutable behind a shared_ptr.  Hot reload — POST /v1/reload or
+//     SIGHUP via request_reload() — decodes the snapshot file from scratch
+//     and atomically swaps the pointer; in-flight requests keep the state
+//     they started with, and a snapshot that fails to decode leaves the old
+//     state serving (the error is reported in the 503 body and /v1/metrics).
+//
+// Endpoints (all bodies application/json, shapes in server/render.hpp):
+//   GET  /v1/link/<a>/<b>    oriented rel_v4 / rel_v6 / hybrid for one link
+//   GET  /v1/neighbors/<asn> full neighbor list with both planes
+//   GET  /v1/summary         dataset / coverage / valley / hybrid counters
+//   GET  /v1/healthz         liveness + current epoch
+//   GET  /v1/metrics         request counts, latency histogram, epoch
+//   POST /v1/reload          reload the snapshot file, swap on success
+#pragma once
+
+#include <atomic>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "server/http.hpp"
+#include "snapshot/query.hpp"
+#include "snapshot/snapshot.hpp"
+#include "util/thread_pool.hpp"
+
+namespace htor::server {
+
+struct DaemonConfig {
+  std::uint16_t port = 8080;  ///< 0 binds an ephemeral port (see port())
+  /// Connection worker pool size; 0 = one per hardware thread.  Floored at
+  /// 2 actual workers so connections never run inline on the acceptor
+  /// thread (ThreadPool's jobs<=1 inline mode would let one keep-alive
+  /// client starve accepts and reloads).
+  std::size_t jobs = 0;
+  HttpLimits limits;          ///< parser bounds, per connection
+  int idle_timeout_ms = 5000; ///< keep-alive connections are reaped after this
+};
+
+class QueryDaemon {
+ public:
+  /// Loads `snapshot_path` eagerly — a snapshot that does not decode fails
+  /// construction, never a half-started daemon.
+  QueryDaemon(std::string snapshot_path, DaemonConfig config = {});
+  ~QueryDaemon();
+
+  QueryDaemon(const QueryDaemon&) = delete;
+  QueryDaemon& operator=(const QueryDaemon&) = delete;
+
+  /// Bind, listen, and spawn the acceptor.  Throws Error on any socket
+  /// failure (port in use, no permission).
+  void start();
+
+  /// Stop accepting, drain in-flight connections, join.  Idempotent.
+  void stop();
+
+  /// The port actually bound (resolves port 0 after start()).
+  std::uint16_t port() const { return bound_port_; }
+
+  /// Reload the snapshot file now (caller thread).  On success the new
+  /// state is swapped in and the epoch advances; on failure the old state
+  /// keeps serving and last_reload_error() explains why.
+  bool reload();
+
+  /// Async-signal-safe reload request (the SIGHUP handler calls this); the
+  /// acceptor performs the reload on its next tick.
+  void request_reload() { reload_requested_.store(true, std::memory_order_relaxed); }
+
+  std::uint64_t epoch() const;
+  std::string last_reload_error() const;
+
+  /// Route one parsed request to a response.  Public so tests and the
+  /// loopback bench can exercise routing without a socket.
+  HttpResponse handle(const HttpRequest& request);
+
+  /// The /v1/metrics body.
+  std::string metrics_json() const;
+
+ private:
+  /// Immutable serving state; connections pin it with a shared_ptr so a
+  /// reload never invalidates an in-flight request.
+  struct ServingState {
+    snapshot::Snapshot snap;
+    snapshot::QueryIndex index;
+    std::uint64_t epoch;
+
+    ServingState(snapshot::Snapshot s, std::uint64_t e)
+        : snap(std::move(s)), index(snap), epoch(e) {}
+  };
+
+  /// Per-connection pump state; lives on the heap across worker yields.
+  struct Connection;
+  enum class PumpResult { Finished, Yield };
+
+  std::shared_ptr<const ServingState> current() const;
+  void accept_loop();
+  /// Run `conn` until it finishes or yields; on yield, re-enqueue it.
+  void pump_connection(std::shared_ptr<Connection> conn);
+  /// One pump slice: drain buffered bytes, answer complete requests, poll
+  /// one tick for more.  Yield = nothing readable yet, give the worker up.
+  PumpResult pump(Connection& conn);
+  void record(std::size_t endpoint, int status, std::uint64_t micros);
+  HttpResponse route(const HttpRequest& request, std::size_t& endpoint);
+
+  // Endpoint slots for the metrics counters.
+  enum Endpoint : std::size_t { kLink, kNeighbors, kSummary, kHealthz, kMetrics, kReload, kOther, kEndpointCount };
+
+  std::string snapshot_path_;
+  DaemonConfig config_;
+
+  mutable std::mutex state_mutex_;
+  std::shared_ptr<const ServingState> state_;
+  std::string last_reload_error_;
+  std::mutex reload_mutex_;  ///< serializes concurrent reload() calls
+
+  ThreadPool pool_;
+  std::thread acceptor_;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> reload_requested_{false};
+  std::atomic<std::size_t> active_connections_{0};
+
+  // Metrics: request counters by endpoint and status class, plus a log2
+  // latency histogram in microseconds (final bucket is the overflow).
+  static constexpr std::size_t kLatencyBuckets = 16;
+  std::array<std::atomic<std::uint64_t>, kEndpointCount> by_endpoint_{};
+  std::array<std::atomic<std::uint64_t>, 4> by_status_class_{};  // 2xx,3xx,4xx,5xx
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets + 1> latency_{};
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> parse_failures_{0};
+  std::atomic<std::uint64_t> reloads_ok_{0};
+  std::atomic<std::uint64_t> reloads_failed_{0};
+};
+
+}  // namespace htor::server

@@ -1,0 +1,255 @@
+#include "server/http.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace htor::server {
+
+namespace {
+
+bool is_token_char(char c) {
+  // RFC 9110 token: visible ASCII minus delimiters.
+  if (c <= 0x20 || c >= 0x7f) return false;
+  static constexpr std::string_view delims = "\"(),/:;<=>?@[\\]{}";
+  return delims.find(c) == std::string_view::npos;
+}
+
+bool is_target_char(char c) {
+  // Origin-form target: any visible ASCII except whitespace.  Percent
+  // escapes pass through untouched; the router only matches literal paths.
+  return c > 0x20 && c < 0x7f;
+}
+
+}  // namespace
+
+std::optional<std::string_view> HttpRequest::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return std::string_view(value);
+  }
+  return std::nullopt;
+}
+
+bool HttpRequest::keep_alive() const {
+  // Connection is a list-valued field and may be repeated; aggregate every
+  // occurrence (RFC 9110 §5.3) — "Connection: upgrade" followed by
+  // "Connection: close" must close.
+  bool close = false;
+  bool keep = false;
+  for (const auto& [key, value] : headers) {
+    if (key != "connection") continue;
+    close = close || contains_ci(value, "close");
+    keep = keep || contains_ci(value, "keep-alive");
+  }
+  if (close) return false;
+  if (version_minor == 0 && version_major == 1) return keep;  // 1.0 default: close
+  return true;                                                // 1.1 default: persist
+}
+
+RequestParser::Status RequestParser::fail(int status, const std::string& why) {
+  state_ = State::Bad;
+  error_status_ = status;
+  error_ = why;
+  return Status::Bad;
+}
+
+RequestParser::Status RequestParser::feed(std::string_view data, std::size_t& consumed) {
+  std::size_t i = 0;
+  while (true) {
+    switch (state_) {
+      case State::RequestLine:
+      case State::Headers: {
+        const bool in_request_line = state_ == State::RequestLine;
+        const std::size_t limit =
+            in_request_line ? limits_.max_request_line : limits_.max_header_line;
+        const std::size_t nl = data.find('\n', i);
+        if (nl == std::string_view::npos) {
+          buffer_.append(data.substr(i));
+          consumed = data.size();
+          if (buffer_.size() > limit) {
+            return in_request_line
+                       ? fail(414, "request line exceeds " + std::to_string(limit) + " bytes")
+                       : fail(431, "header line exceeds " + std::to_string(limit) + " bytes");
+          }
+          return Status::NeedMore;
+        }
+        if (buffer_.size() + (nl - i) > limit) {
+          consumed = nl + 1;
+          return in_request_line
+                     ? fail(414, "request line exceeds " + std::to_string(limit) + " bytes")
+                     : fail(431, "header line exceeds " + std::to_string(limit) + " bytes");
+        }
+        buffer_.append(data.substr(i, nl - i));
+        i = nl + 1;
+        std::string_view line = buffer_;
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+        if (in_request_line) {
+          if (line.empty()) {
+            // RFC 9112 §2.2: ignore at most a couple of stray CRLFs ahead of
+            // the request line (a client that sends more is not talking HTTP).
+            if (++leading_blanks_ > 2) {
+              consumed = i;
+              return fail(400, "expected a request line, got blank lines");
+            }
+          } else if (!parse_request_line(line)) {
+            consumed = i;
+            return Status::Bad;
+          }
+        } else if (line.empty()) {
+          if (!finish_headers()) {
+            consumed = i;
+            return Status::Bad;
+          }
+          state_ = body_expected_ > 0 ? State::Body : State::Done;
+        } else if (!parse_header_line(line)) {
+          consumed = i;
+          return Status::Bad;
+        }
+        buffer_.clear();
+        break;
+      }
+      case State::Body: {
+        const std::size_t missing = body_expected_ - request_.body.size();
+        const std::size_t take = std::min(missing, data.size() - i);
+        request_.body.append(data.substr(i, take));
+        i += take;
+        if (request_.body.size() < body_expected_) {
+          consumed = data.size();
+          return Status::NeedMore;
+        }
+        state_ = State::Done;
+        break;
+      }
+      case State::Done:
+        consumed = i;
+        return Status::Done;
+      case State::Bad:
+        consumed = i;
+        return Status::Bad;
+    }
+  }
+}
+
+bool RequestParser::parse_request_line(std::string_view line) {
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    fail(400, "request line is not 'METHOD target HTTP/x.y'");
+    return false;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (method.empty() || !std::all_of(method.begin(), method.end(), is_token_char)) {
+    fail(400, "malformed method token");
+    return false;
+  }
+  if (target.empty() || target[0] != '/' ||
+      !std::all_of(target.begin(), target.end(), is_target_char)) {
+    fail(400, "target must be an origin-form path");
+    return false;
+  }
+  if (version.size() != 8 || version.substr(0, 5) != "HTTP/" || version[6] != '.' ||
+      version[5] < '0' || version[5] > '9' || version[7] < '0' || version[7] > '9') {
+    fail(400, "malformed HTTP version");
+    return false;
+  }
+  request_.version_major = version[5] - '0';
+  request_.version_minor = version[7] - '0';
+  if (request_.version_major != 1) {
+    fail(400, "unsupported HTTP version (only 1.x is served)");
+    return false;
+  }
+  request_.method.assign(method);
+  request_.target.assign(target);
+  state_ = State::Headers;
+  return true;
+}
+
+bool RequestParser::parse_header_line(std::string_view line) {
+  if (request_.headers.size() >= limits_.max_headers) {
+    fail(431, "more than " + std::to_string(limits_.max_headers) + " header fields");
+    return false;
+  }
+  if (line[0] == ' ' || line[0] == '\t') {
+    fail(400, "obsolete header line folding is not accepted");
+    return false;
+  }
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    fail(400, "header field without a name/colon");
+    return false;
+  }
+  const std::string_view name = line.substr(0, colon);
+  if (!std::all_of(name.begin(), name.end(), is_token_char)) {
+    fail(400, "malformed header field name");
+    return false;
+  }
+  request_.headers.emplace_back(to_lower(name), std::string(trim(line.substr(colon + 1))));
+  return true;
+}
+
+bool RequestParser::finish_headers() {
+  if (request_.header("transfer-encoding")) {
+    fail(400, "transfer codings are not accepted; send Content-Length");
+    return false;
+  }
+  std::optional<std::uint64_t> length;
+  for (const auto& [key, value] : request_.headers) {
+    if (key != "content-length") continue;
+    std::uint64_t parsed = 0;
+    if (!parse_u64(value, parsed)) {
+      fail(400, "malformed Content-Length '" + value + "'");
+      return false;
+    }
+    if (length && *length != parsed) {
+      fail(400, "conflicting Content-Length fields");
+      return false;
+    }
+    length = parsed;
+  }
+  if (length && *length > limits_.max_body) {
+    fail(413, "body of " + std::to_string(*length) + " bytes exceeds the " +
+                  std::to_string(limits_.max_body) + "-byte limit");
+    return false;
+  }
+  body_expected_ = length ? static_cast<std::size_t>(*length) : 0;
+  return true;
+}
+
+std::string_view status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 414: return "URI Too Long";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string HttpResponse::serialize(bool include_body) const {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += status_reason(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  if (include_body) out += body;
+  return out;
+}
+
+}  // namespace htor::server

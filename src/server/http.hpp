@@ -1,0 +1,107 @@
+// Hand-rolled HTTP/1.1 request parser and response serializer for the query
+// daemon.
+//
+// The parser has the MRT/snapshot readers' fail-clean discipline, applied to
+// a byte stream an untrusted client controls: every size is bounded up front
+// (request line, header line, header count, body), every violation produces
+// a typed ParseResult::Bad with the 4xx status that should be sent back and
+// a reasoned message — never a partially-parsed request, never unbounded
+// buffering.  Parsing is incremental: feed() consumes bytes as they arrive
+// off the socket and reports NeedMore until a full request (including any
+// Content-Length body) is buffered.
+//
+// Only the subset the daemon serves is implemented: GET/POST/HEAD, origin-
+// form targets, Content-Length bodies (no chunked transfer encoding — a
+// request that asks for it is rejected with 400, keeping the "every
+// rejected request is a 4xx" contract), and keep-alive accounting
+// per RFC 9112 defaults (1.1 persists unless `Connection: close`; 1.0
+// closes unless `Connection: keep-alive`).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace htor::server {
+
+/// Hard limits on what the parser will buffer.  A client that exceeds any
+/// of them gets a reasoned 4xx and the connection is closed.
+struct HttpLimits {
+  std::size_t max_request_line = 1024;  ///< method + target + version + CRLF
+  std::size_t max_header_line = 1024;   ///< one field line including CRLF
+  std::size_t max_headers = 64;         ///< field count
+  std::size_t max_body = 64 * 1024;     ///< Content-Length ceiling
+};
+
+struct HttpRequest {
+  std::string method;   ///< uppercase by the wire ("GET", "POST", ...)
+  std::string target;   ///< origin-form, e.g. "/v1/link/3356/1299"
+  int version_major = 1;
+  int version_minor = 1;
+  std::vector<std::pair<std::string, std::string>> headers;  ///< names lowercased
+  std::string body;
+
+  /// First value of header `name` (lowercase), if present.
+  std::optional<std::string_view> header(std::string_view name) const;
+
+  /// Whether the connection should persist after this exchange.
+  bool keep_alive() const;
+};
+
+/// Incremental request parser; one instance per in-flight request.
+class RequestParser {
+ public:
+  explicit RequestParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  enum class Status {
+    NeedMore,  ///< consumed everything so far; request incomplete
+    Done,      ///< request() is valid; unconsumed bytes stay with the caller
+    Bad,       ///< malformed or over-limit; error_status()/error() are set
+  };
+
+  /// Consume bytes from the stream.  Returns how the parse stands; on Done,
+  /// `consumed` (out) is how many of `data`'s bytes belong to this request —
+  /// the remainder is the start of the next pipelined request.
+  Status feed(std::string_view data, std::size_t& consumed);
+
+  const HttpRequest& request() const { return request_; }
+  /// The 4xx to send when Status::Bad.
+  int error_status() const { return error_status_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  enum class State { RequestLine, Headers, Body, Done, Bad };
+
+  Status fail(int status, const std::string& why);
+  bool parse_request_line(std::string_view line);
+  bool parse_header_line(std::string_view line);
+  bool finish_headers();  ///< validate Content-Length / Transfer-Encoding
+
+  HttpLimits limits_;
+  State state_ = State::RequestLine;
+  int leading_blanks_ = 0;       // stray CRLFs tolerated before the request line
+  std::string buffer_;           // the current (incomplete) line or body
+  std::size_t body_expected_ = 0;
+  HttpRequest request_;
+  int error_status_ = 400;
+  std::string error_;
+};
+
+/// A response ready to serialize.  `body` is always sent with an exact
+/// Content-Length; HEAD callers serialize with `include_body = false`.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  bool keep_alive = true;
+
+  std::string serialize(bool include_body = true) const;
+};
+
+/// Canonical reason phrase for the handful of statuses the daemon emits.
+std::string_view status_reason(int status);
+
+}  // namespace htor::server

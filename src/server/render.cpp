@@ -1,0 +1,107 @@
+#include "server/render.hpp"
+
+#include "util/json.hpp"
+
+namespace htor::server {
+
+namespace {
+
+void link_fields(JsonWriter& json, const snapshot::QueryIndex::LinkInfo& info) {
+  json.key("rel_v4").value(to_string(info.rel_v4));
+  json.key("rel_v6").value(to_string(info.rel_v6));
+  json.key("hybrid").value(info.hybrid);
+}
+
+}  // namespace
+
+std::string link_json(Asn a, Asn b, const snapshot::QueryIndex::LinkInfo& info) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("a").value(a);
+  json.key("b").value(b);
+  link_fields(json, info);
+  json.end_object();
+  return json.str() + "\n";
+}
+
+std::string neighbors_json(Asn asn,
+                           const std::vector<snapshot::QueryIndex::Neighbor>& neighbors) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("asn").value(asn);
+  json.key("neighbor_count").value(static_cast<std::uint64_t>(neighbors.size()));
+  json.key("neighbors").begin_array();
+  for (const auto& n : neighbors) {
+    json.begin_object();
+    json.key("asn").value(n.asn);
+    link_fields(json, n.info);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str() + "\n";
+}
+
+std::string error_json(std::string_view message) {
+  JsonWriter json;
+  json.begin_object().key("error").value(message).end_object();
+  return json.str() + "\n";
+}
+
+std::string summary_json(const snapshot::Snapshot& snap, const snapshot::QueryIndex& index) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("source").value(snap.header.source);
+  json.key("timestamp").value(snap.header.timestamp);
+  json.key("format_version").value(snap.header.version);
+
+  json.key("dataset").begin_object();
+  json.key("v4_paths").value(snap.dataset.v4_paths);
+  json.key("v6_paths").value(snap.dataset.v6_paths);
+  json.key("v4_links").value(snap.dataset.v4_links);
+  json.key("v6_links").value(snap.dataset.v6_links);
+  json.key("dual_links").value(snap.dataset.dual_links);
+  json.end_object();
+
+  const auto coverage = [&](const char* name, const snapshot::CoverageCounters& c) {
+    json.key(name).begin_object();
+    json.key("observed").value(c.observed);
+    json.key("covered").value(c.covered);
+    json.end_object();
+  };
+  coverage("coverage_v4", snap.coverage_v4);
+  coverage("coverage_v6", snap.coverage_v6);
+  coverage("coverage_dual", snap.coverage_dual);
+
+  const auto valleys = [&](const char* name, const snapshot::ValleyCounters& v) {
+    json.key(name).begin_object();
+    json.key("paths").value(v.paths);
+    json.key("valley_free").value(v.valley_free);
+    json.key("valley").value(v.valley);
+    json.key("incomplete").value(v.incomplete);
+    json.key("classified_valleys").value(v.classified_valleys);
+    json.key("necessary_valleys").value(v.necessary_valleys);
+    json.end_object();
+  };
+  valleys("valleys_v4", snap.valleys_v4);
+  valleys("valleys_v6", snap.valleys_v6);
+
+  json.key("hybrids").begin_object();
+  json.key("dual_links_observed").value(snap.hybrid_counters.dual_links_observed);
+  json.key("dual_links_both_known").value(snap.hybrid_counters.dual_links_both_known);
+  json.key("v6_paths_total").value(snap.hybrid_counters.v6_paths_total);
+  json.key("v6_paths_with_hybrid").value(snap.hybrid_counters.v6_paths_with_hybrid);
+  json.key("count").value(static_cast<std::uint64_t>(snap.hybrids.size()));
+  json.end_object();
+
+  json.key("index").begin_object();
+  json.key("links").value(static_cast<std::uint64_t>(index.link_count()));
+  json.key("ases").value(static_cast<std::uint64_t>(index.as_count()));
+  json.key("hybrid_links").value(static_cast<std::uint64_t>(index.hybrid_count()));
+  json.end_object();
+
+  json.end_object();
+  return json.str() + "\n";
+}
+
+}  // namespace htor::server

@@ -1,0 +1,36 @@
+// JSON renderings of snapshot query answers, shared by `hybridtor query
+// --json` and the query daemon's HTTP bodies.
+//
+// Both consumers call the exact same functions on the exact same
+// QueryIndex, which is what makes a daemon response body byte-identical to
+// the CLI's stdout for the same snapshot — the server e2e test asserts that
+// equality literally, byte for byte.  Every rendering ends with a single
+// trailing newline so the bodies are also friendly to curl and shell
+// pipelines.
+#pragma once
+
+#include <string>
+
+#include "snapshot/query.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace htor::server {
+
+/// The a -> b view of a link: asns, oriented rel_v4/rel_v6, hybrid flag.
+std::string link_json(Asn a, Asn b, const snapshot::QueryIndex::LinkInfo& info);
+
+/// Neighbor list of `asn`, ascending by neighbor ASN, each entry oriented
+/// asn -> neighbor.
+std::string neighbors_json(Asn asn, const std::vector<snapshot::QueryIndex::Neighbor>& neighbors);
+
+/// {"error": message} — the shape every non-2xx daemon body and every CLI
+/// --json failure shares.
+std::string error_json(std::string_view message);
+
+/// The durable counters of the snapshot a daemon is serving: header,
+/// dataset, per-family coverage, valley and hybrid counters, plus the index
+/// cardinalities.  Everything needed to sanity-check a serving instance
+/// without re-reading the snapshot file.
+std::string summary_json(const snapshot::Snapshot& snap, const snapshot::QueryIndex& index);
+
+}  // namespace htor::server

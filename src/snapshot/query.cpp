@@ -11,7 +11,9 @@ QueryIndex::QueryIndex(const Snapshot& snap) {
       (v4 ? it->second.rel_v4 : it->second.rel_v6) = rel;
       if (inserted) {
         adjacency_[key.first].push_back(key.second);
-        adjacency_[key.second].push_back(key.first);
+        // A self-loop (a hand-built snapshot can hold one) is one neighbor
+        // entry, not two.
+        if (key.second != key.first) adjacency_[key.second].push_back(key.first);
       }
     });
   };
@@ -26,7 +28,7 @@ QueryIndex::QueryIndex(const Snapshot& snap) {
       it->second.rel_v4 = h.rel_v4;
       it->second.rel_v6 = h.rel_v6;
       adjacency_[h.link.first].push_back(h.link.second);
-      adjacency_[h.link.second].push_back(h.link.first);
+      if (h.link.second != h.link.first) adjacency_[h.link.second].push_back(h.link.first);
     }
     if (!it->second.hybrid) {
       it->second.hybrid = true;

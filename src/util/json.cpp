@@ -1,0 +1,122 @@
+#include "util/json.hpp"
+
+namespace htor {
+
+std::string JsonWriter::quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\f': out += "\\f"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(hex[(c >> 4) & 0xf]);
+          out.push_back(hex[c & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::begin_value(const char* what) {
+  if (done_) throw InvalidArgument(std::string("JsonWriter: ") + what + " after the root value");
+  if (!stack_.empty() && stack_.back() == Frame::Object && !after_key_) {
+    throw InvalidArgument(std::string("JsonWriter: ") + what + " in an object without a key");
+  }
+  if (need_comma_ && !after_key_) out_.push_back(',');
+  after_key_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  begin_value("begin_object");
+  out_.push_back('{');
+  stack_.push_back(Frame::Object);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::Object || after_key_) {
+    throw InvalidArgument("JsonWriter: end_object without a matching open object");
+  }
+  out_.push_back('}');
+  stack_.pop_back();
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  begin_value("begin_array");
+  out_.push_back('[');
+  stack_.push_back(Frame::Array);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::Array) {
+    throw InvalidArgument("JsonWriter: end_array without a matching open array");
+  }
+  out_.push_back(']');
+  stack_.pop_back();
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (done_ || stack_.empty() || stack_.back() != Frame::Object || after_key_) {
+    throw InvalidArgument("JsonWriter: key() is only valid directly inside an object");
+  }
+  if (need_comma_) out_.push_back(',');
+  out_ += quote(k);
+  out_.push_back(':');
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  begin_value("value");
+  out_ += quote(v);
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  begin_value("value");
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  begin_value("value");
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!done_ || !stack_.empty()) {
+    throw InvalidArgument("JsonWriter: str() before the document is complete");
+  }
+  return out_;
+}
+
+}  // namespace htor

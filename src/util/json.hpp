@@ -1,0 +1,60 @@
+// Minimal deterministic JSON writer shared by the CLI's --json output and
+// the query daemon's HTTP responses.
+//
+// The writer emits compact JSON (no whitespace) in exactly the order the
+// caller makes calls, so the same sequence of values always produces the
+// same bytes — which is what lets the server e2e test assert that a daemon
+// response body is byte-identical to `hybridtor query --json` output.
+// Strings are escaped per RFC 8259: the two mandatory escapes (`"` and `\`)
+// plus control characters as \b \t \n \f \r or \u00XX.  Only the JSON
+// subset the project needs is implemented: objects, arrays, strings,
+// unsigned integers, and booleans.  Nesting misuse (a value where a key is
+// required, unbalanced end calls) throws InvalidArgument rather than
+// producing malformed output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace htor {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Member key inside an object; must be followed by exactly one value.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::uint32_t v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  /// The finished document.  Throws InvalidArgument when containers are
+  /// still open or nothing was written.
+  std::string str() const;
+
+  /// Escape `s` as a JSON string literal, quotes included.
+  static std::string quote(std::string_view s);
+
+ private:
+  enum class Frame : std::uint8_t { Object, Array };
+
+  void begin_value(const char* what);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool need_comma_ = false;   // a value/key at this position needs a ',' first
+  bool after_key_ = false;    // the previous token was key(); a value must follow
+  bool done_ = false;         // the root value is complete
+};
+
+}  // namespace htor

@@ -71,6 +71,13 @@ bool parse_u64(std::string_view s, std::uint64_t& out) {
   return true;
 }
 
+bool parse_asn(std::string_view s, Asn& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(s, v) || v > 0xffffffffull) return false;
+  out = static_cast<Asn>(v);
+  return true;
+}
+
 std::string fmt_double(double v, int digits) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(digits) << v;

@@ -2,9 +2,12 @@
 // report printers.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "netbase/asn.hpp"
 
 namespace htor {
 
@@ -26,6 +29,11 @@ bool contains_ci(std::string_view s, std::string_view needle);
 /// Parse a non-negative decimal integer; returns false on any non-digit or
 /// overflow past 2^64-1.
 bool parse_u64(std::string_view s, std::uint64_t& out);
+
+/// Parse a 32-bit ASN in asplain form (RFC 6793: 0..4294967295); false on
+/// garbage or overflow.  The single strict ASN parse shared by the CLI, the
+/// query daemon's URL routing, and the RPSL aut-num parser.
+bool parse_asn(std::string_view s, Asn& out);
 
 /// Format a double with `digits` fraction digits.
 std::string fmt_double(double v, int digits);

@@ -17,6 +17,12 @@
 #      without partial output.
 #   7. `generate` argument validation: a garbage seed ("12x") and a trailing
 #      positional argument are both rejected.
+#   8. Unknown options ("--frobnicate", "-x") are rejected with a reasoned
+#      usage error instead of being swallowed as positional file arguments.
+#   9. `query --json` emits the machine-readable shape (the same bytes the
+#      query daemon serves; byte-level identity is proven by
+#      test_server_e2e), in pair, neighbor, and not-found modes; --json on
+#      another subcommand is rejected.
 #
 # Invoked as:
 #   cmake -DHYBRIDTOR=<path> -DWORK_DIR=<dir> -P cli_e2e.cmake
@@ -215,6 +221,7 @@ foreach(idx RANGE 1 40)
         message(FATAL_ERROR "query output does not name the link:\n${query_out}")
       endif()
       set(query_as "${as_a}")
+      set(query_bs "${as_b}")
     endif()
   endif()
 endforeach()
@@ -277,6 +284,61 @@ execute_process(COMMAND "${HYBRIDTOR}" generate "${WORK_DIR}/extra" 5 surplus
                 RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
 if(rc EQUAL 0)
   message(FATAL_ERROR "generate must reject trailing positional arguments")
+endif()
+
+# --------------------------------------------- 8. unknown option rejection
+# A typo'd flag must be a reasoned error, not a silent positional that
+# later fails as "cannot open '--frobnicate'".
+foreach(bad_flag "--frobnicate" "-x")
+  execute_process(COMMAND "${HYBRIDTOR}" census "${bad_flag}"
+                          "${DATA_DIR}/rib.mrt" "${DATA_DIR}/irr.txt"
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "census must reject the unknown option '${bad_flag}'")
+  endif()
+  string(FIND "${err}" "unknown option '${bad_flag}'" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "unknown-option diagnostic does not name '${bad_flag}': ${err}")
+  endif()
+  string(FIND "${err}" "usage:" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "unknown-option error must print usage: ${err}")
+  endif()
+endforeach()
+
+# --------------------------------------------------------- 9. query --json
+execute_process(COMMAND "${HYBRIDTOR}" query --json "${SNAP_A}" "${query_as}" "${query_bs}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE json_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "query --json failed (rc=${rc}): ${err}")
+endif()
+if(NOT json_out MATCHES "^\\{\"a\":${query_as},\"b\":${query_bs},\"rel_v4\":")
+  message(FATAL_ERROR "query --json pair output has the wrong shape:\n${json_out}")
+endif()
+execute_process(COMMAND "${HYBRIDTOR}" query --json "${SNAP_A}" "${query_as}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE json_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT json_out MATCHES "\"neighbor_count\":")
+  message(FATAL_ERROR "query --json neighbor output has the wrong shape:\n${json_out}")
+endif()
+# Not-found still emits the machine-readable error object (on stdout, since
+# --json callers parse stdout) and exits nonzero.
+execute_process(COMMAND "${HYBRIDTOR}" query --json "${SNAP_A}" 4294967295
+                RESULT_VARIABLE rc OUTPUT_VARIABLE json_out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "query --json for an absent AS must exit nonzero")
+endif()
+if(NOT json_out MATCHES "^\\{\"error\":")
+  message(FATAL_ERROR "query --json not-found output must be the error object:\n${json_out}")
+endif()
+# --json belongs to query alone.
+execute_process(COMMAND "${HYBRIDTOR}" diff --json "${SNAP_A}" "${SNAP_A}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "diff --json must be rejected")
+endif()
+string(FIND "${err}" "--json is only valid with the query subcommand" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "diff --json diagnostic is wrong: ${err}")
 endif()
 
 message(STATUS "cli_e2e: all checks passed")

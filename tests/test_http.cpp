@@ -1,0 +1,221 @@
+// Unit tests for server/http: the daemon's hand-rolled HTTP/1.1 request
+// parser (bounded sizes, fail-clean 4xx on anything malformed — the same
+// discipline the MRT and snapshot readers apply to untrusted bytes) and the
+// response serializer.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "server/http.hpp"
+
+namespace htor::server {
+namespace {
+
+/// Feed the whole string at once; expects the parser to finish it.
+RequestParser::Status feed_all(RequestParser& parser, std::string_view text,
+                               std::size_t* consumed_out = nullptr) {
+  std::size_t consumed = 0;
+  const auto status = parser.feed(text, consumed);
+  if (consumed_out != nullptr) *consumed_out = consumed;
+  return status;
+}
+
+TEST(RequestParser, SimpleGet) {
+  RequestParser parser;
+  std::size_t consumed = 0;
+  const auto status =
+      feed_all(parser, "GET /v1/healthz HTTP/1.1\r\nHost: localhost\r\n\r\n", &consumed);
+  ASSERT_EQ(status, RequestParser::Status::Done);
+  EXPECT_EQ(consumed, std::string("GET /v1/healthz HTTP/1.1\r\nHost: localhost\r\n\r\n").size());
+  const auto& req = parser.request();
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.target, "/v1/healthz");
+  EXPECT_EQ(req.version_major, 1);
+  EXPECT_EQ(req.version_minor, 1);
+  ASSERT_EQ(req.headers.size(), 1u);
+  EXPECT_EQ(req.headers[0].first, "host");  // names are lowercased
+  EXPECT_EQ(req.headers[0].second, "localhost");
+  EXPECT_TRUE(req.keep_alive());  // 1.1 default
+}
+
+TEST(RequestParser, BareLfLineEndingsAccepted) {
+  RequestParser parser;
+  ASSERT_EQ(feed_all(parser, "GET / HTTP/1.1\nHost: x\n\n"), RequestParser::Status::Done);
+  EXPECT_EQ(parser.request().target, "/");
+}
+
+TEST(RequestParser, KeepAliveSemantics) {
+  {
+    RequestParser parser;
+    ASSERT_EQ(feed_all(parser, "GET / HTTP/1.1\r\nConnection: close\r\n\r\n"),
+              RequestParser::Status::Done);
+    EXPECT_FALSE(parser.request().keep_alive());
+  }
+  {
+    RequestParser parser;
+    ASSERT_EQ(feed_all(parser, "GET / HTTP/1.0\r\n\r\n"), RequestParser::Status::Done);
+    EXPECT_FALSE(parser.request().keep_alive());  // 1.0 default is close
+  }
+  {
+    RequestParser parser;
+    ASSERT_EQ(feed_all(parser, "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"),
+              RequestParser::Status::Done);
+    EXPECT_TRUE(parser.request().keep_alive());
+  }
+}
+
+TEST(RequestParser, RepeatedConnectionHeadersAggregate) {
+  // Connection is list-valued and may repeat; "close" anywhere wins.
+  RequestParser parser;
+  ASSERT_EQ(feed_all(parser,
+                     "GET / HTTP/1.1\r\nConnection: upgrade\r\nConnection: close\r\n\r\n"),
+            RequestParser::Status::Done);
+  EXPECT_FALSE(parser.request().keep_alive());
+}
+
+TEST(RequestParser, ByteAtATimeFeedingMatchesOneShot) {
+  const std::string wire = "POST /v1/reload HTTP/1.1\r\nContent-Length: 4\r\n\r\nwork";
+  RequestParser parser;
+  RequestParser::Status status = RequestParser::Status::NeedMore;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    std::size_t consumed = 0;
+    status = parser.feed(std::string_view(wire).substr(i, 1), consumed);
+    if (i + 1 < wire.size()) {
+      ASSERT_EQ(status, RequestParser::Status::NeedMore) << "at byte " << i;
+      ASSERT_EQ(consumed, 1u);
+    }
+  }
+  ASSERT_EQ(status, RequestParser::Status::Done);
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().body, "work");
+}
+
+TEST(RequestParser, PipelinedRequestsLeaveTheRemainder) {
+  const std::string first = "GET /a HTTP/1.1\r\n\r\n";
+  const std::string second = "GET /b HTTP/1.1\r\n\r\n";
+  RequestParser parser;
+  std::size_t consumed = 0;
+  ASSERT_EQ(feed_all(parser, first + second, &consumed), RequestParser::Status::Done);
+  EXPECT_EQ(consumed, first.size());  // the second request stays with the caller
+
+  RequestParser next;
+  ASSERT_EQ(feed_all(next, second), RequestParser::Status::Done);
+  EXPECT_EQ(next.request().target, "/b");
+}
+
+TEST(RequestParser, LeadingBlankLinesTolerated) {
+  RequestParser parser;
+  ASSERT_EQ(feed_all(parser, "\r\n\r\nGET / HTTP/1.1\r\n\r\n"), RequestParser::Status::Done);
+  EXPECT_EQ(parser.request().target, "/");
+
+  RequestParser flood;
+  ASSERT_EQ(feed_all(flood, "\r\n\r\n\r\n\r\n"), RequestParser::Status::Bad);
+  EXPECT_EQ(flood.error_status(), 400);
+}
+
+struct BadCase {
+  const char* name;
+  std::string wire;
+  int status;
+};
+
+TEST(RequestParser, MalformedRequestsFailCleanWith4xx) {
+  const std::string long_target(2048, 'a');
+  std::string many_headers = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 100; ++i) many_headers += "X-H" + std::to_string(i) + ": v\r\n";
+  many_headers += "\r\n";
+
+  const BadCase cases[] = {
+      {"garbage", "GARBAGE\r\n\r\n", 400},
+      {"no target", "GET HTTP/1.1\r\n\r\n", 400},
+      {"relative target", "GET foo HTTP/1.1\r\n\r\n", 400},
+      {"target with space dance", "GET / bar HTTP/1.1\r\n\r\n", 400},
+      {"bad method token", "G{}T / HTTP/1.1\r\n\r\n", 400},
+      {"empty method", " / HTTP/1.1\r\n\r\n", 400},
+      {"bad version", "GET / HTTTP/1.1\r\n\r\n", 400},
+      {"http/2", "GET / HTTP/2.0\r\n\r\n", 400},
+      {"version garbage", "GET / HTTP/x.y\r\n\r\n", 400},
+      {"header without colon", "GET / HTTP/1.1\r\nnocolon\r\n\r\n", 400},
+      {"header empty name", "GET / HTTP/1.1\r\n: v\r\n\r\n", 400},
+      {"header bad name", "GET / HTTP/1.1\r\nbad name: v\r\n\r\n", 400},
+      {"obsolete folding", "GET / HTTP/1.1\r\nA: b\r\n c\r\n\r\n", 400},
+      {"bad content-length", "POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n", 400},
+      {"negative content-length", "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 400},
+      {"conflicting content-lengths",
+       "POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n", 400},
+      {"chunked", "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 400},
+      {"oversized body", "POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n", 413},
+      {"oversized request line", "GET /" + long_target + " HTTP/1.1\r\n\r\n", 414},
+      {"oversized header line", "GET / HTTP/1.1\r\nX: " + long_target + "\r\n\r\n", 431},
+      {"too many headers", many_headers, 431},
+  };
+  for (const auto& c : cases) {
+    RequestParser parser;
+    const auto status = feed_all(parser, c.wire);
+    EXPECT_EQ(status, RequestParser::Status::Bad) << c.name;
+    EXPECT_EQ(parser.error_status(), c.status) << c.name;
+    EXPECT_FALSE(parser.error().empty()) << c.name;
+    EXPECT_GE(parser.error_status(), 400) << c.name;
+    EXPECT_LT(parser.error_status(), 500) << c.name;
+  }
+}
+
+TEST(RequestParser, OversizedRequestLineFailsEvenWithoutNewline) {
+  // A client that never sends a newline must not make the server buffer
+  // unboundedly: the limit applies to the partial line too.
+  RequestParser parser;
+  const std::string endless(4096, 'a');
+  std::size_t consumed = 0;
+  EXPECT_EQ(parser.feed(endless, consumed), RequestParser::Status::Bad);
+  EXPECT_EQ(parser.error_status(), 414);
+}
+
+TEST(RequestParser, TruncatedRequestStaysIncomplete) {
+  RequestParser parser;
+  EXPECT_EQ(feed_all(parser, "GET /v1/healthz HTTP/1."), RequestParser::Status::NeedMore);
+  EXPECT_EQ(feed_all(parser, ""), RequestParser::Status::NeedMore);
+
+  RequestParser body_short;
+  EXPECT_EQ(feed_all(body_short, "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            RequestParser::Status::NeedMore);
+}
+
+TEST(HttpResponse, SerializesExactBytes) {
+  HttpResponse resp;
+  resp.status = 200;
+  resp.body = "{\"ok\":true}\n";
+  resp.keep_alive = true;
+  EXPECT_EQ(resp.serialize(),
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: 12\r\n"
+            "Connection: keep-alive\r\n"
+            "\r\n"
+            "{\"ok\":true}\n");
+}
+
+TEST(HttpResponse, HeadOmitsBodyButKeepsLength) {
+  HttpResponse resp;
+  resp.status = 404;
+  resp.body = "{\"error\":\"x\"}\n";
+  resp.keep_alive = false;
+  const auto head = resp.serialize(/*include_body=*/false);
+  EXPECT_NE(head.find("Content-Length: 14\r\n"), std::string::npos);
+  EXPECT_NE(head.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(head.find("error"), std::string::npos);
+  EXPECT_EQ(head.substr(head.size() - 4), "\r\n\r\n");
+}
+
+TEST(HttpResponse, ReasonPhrases) {
+  EXPECT_EQ(status_reason(200), "OK");
+  EXPECT_EQ(status_reason(400), "Bad Request");
+  EXPECT_EQ(status_reason(404), "Not Found");
+  EXPECT_EQ(status_reason(405), "Method Not Allowed");
+  EXPECT_EQ(status_reason(413), "Content Too Large");
+  EXPECT_EQ(status_reason(414), "URI Too Long");
+  EXPECT_EQ(status_reason(431), "Request Header Fields Too Large");
+  EXPECT_EQ(status_reason(503), "Service Unavailable");
+}
+
+}  // namespace
+}  // namespace htor::server

@@ -1,0 +1,103 @@
+// Unit tests for util/json: the deterministic writer whose bytes both the
+// CLI's --json output and the query daemon's HTTP bodies are built from.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace htor {
+namespace {
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("a").value(std::uint64_t{1});
+  json.key("b").value("two");
+  json.key("c").value(true);
+  json.key("d").value(false);
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"a":1,"b":"two","c":true,"d":false})");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("list").begin_array();
+  json.value(std::uint64_t{1});
+  json.begin_object().key("x").value(std::uint64_t{2}).end_object();
+  json.begin_array().end_array();
+  json.end_array();
+  json.key("obj").begin_object().end_object();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"list":[1,{"x":2},[]],"obj":{}})");
+}
+
+TEST(JsonWriter, RootArrayAndScalars) {
+  JsonWriter json;
+  json.begin_array();
+  json.value("a");
+  json.value(std::uint64_t{18446744073709551615ull});
+  json.end_array();
+  EXPECT_EQ(json.str(), R"(["a",18446744073709551615])");
+
+  JsonWriter scalar;
+  scalar.value("just a string");
+  EXPECT_EQ(scalar.str(), R"("just a string")");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::quote("plain"), R"("plain")");
+  EXPECT_EQ(JsonWriter::quote("a\"b"), R"("a\"b")");
+  EXPECT_EQ(JsonWriter::quote("a\\b"), R"("a\\b")");
+  EXPECT_EQ(JsonWriter::quote("tab\there"), R"("tab\there")");
+  EXPECT_EQ(JsonWriter::quote("line\nbreak"), R"("line\nbreak")");
+  EXPECT_EQ(JsonWriter::quote(std::string_view("\x01\x1f", 2)), "\"\\u0001\\u001f\"");
+  // High bytes (UTF-8 continuation) pass through untouched.
+  EXPECT_EQ(JsonWriter::quote("caf\xc3\xa9"), "\"caf\xc3\xa9\"");
+}
+
+TEST(JsonWriter, KeysAreEscapedToo) {
+  JsonWriter json;
+  json.begin_object().key("we\"ird").value(std::uint64_t{1}).end_object();
+  EXPECT_EQ(json.str(), R"({"we\"ird":1})");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value(std::uint64_t{1}), InvalidArgument);  // value without key
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.key("k"), InvalidArgument);  // key inside array
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.end_array(), InvalidArgument);  // mismatched close
+  }
+  {
+    JsonWriter json;
+    json.begin_object().key("k");
+    EXPECT_THROW(json.end_object(), InvalidArgument);  // dangling key
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.str(), InvalidArgument);  // incomplete document
+  }
+  {
+    JsonWriter json;
+    EXPECT_THROW(json.str(), InvalidArgument);  // empty document
+  }
+  {
+    JsonWriter json;
+    json.value(std::uint64_t{1});
+    EXPECT_THROW(json.value(std::uint64_t{2}), InvalidArgument);  // second root
+  }
+}
+
+}  // namespace
+}  // namespace htor

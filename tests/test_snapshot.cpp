@@ -397,6 +397,76 @@ TEST(SnapshotQuery, SingleFamilyLinksResolve) {
   EXPECT_FALSE(info->hybrid);
 }
 
+// v6-only links (the paper's deep IPv6 periphery: no v4 counterpart at all)
+// must index, orient, and appear in neighbor lists like any other link.
+TEST(SnapshotQuery, V6OnlyLinksOrientAndList) {
+  Snapshot snap;
+  snap.rels_v6.set(20, 21, Relationship::P2C);  // 20 provides transit to 21
+  snap.rels_v6.set(21, 22, Relationship::P2P);
+  const QueryIndex index(snap);
+  EXPECT_EQ(index.link_count(), 2u);
+  EXPECT_EQ(index.as_count(), 3u);
+  EXPECT_EQ(index.hybrid_count(), 0u);
+
+  const auto reversed = index.lookup(21, 20);
+  ASSERT_TRUE(reversed.has_value());
+  EXPECT_EQ(reversed->rel_v4, Relationship::Unknown);  // reverse(Unknown) stays Unknown
+  EXPECT_EQ(reversed->rel_v6, Relationship::C2P);
+  EXPECT_FALSE(reversed->hybrid);
+
+  const auto neighbors = index.neighbors(21);
+  ASSERT_EQ(neighbors.size(), 2u);
+  EXPECT_EQ(neighbors[0].asn, 20u);
+  EXPECT_EQ(neighbors[0].info.rel_v6, Relationship::C2P);
+  EXPECT_EQ(neighbors[1].asn, 22u);
+  EXPECT_EQ(neighbors[1].info.rel_v6, Relationship::P2P);
+}
+
+TEST(SnapshotQuery, EmptySnapshotAnswersEverythingWithNothing) {
+  const QueryIndex index(Snapshot{});
+  EXPECT_EQ(index.link_count(), 0u);
+  EXPECT_EQ(index.as_count(), 0u);
+  EXPECT_EQ(index.hybrid_count(), 0u);
+  EXPECT_FALSE(index.lookup(1, 2).has_value());
+  EXPECT_FALSE(index.contains(0));
+  EXPECT_TRUE(index.neighbors(1).empty());
+}
+
+// The on-disk format rejects self-loops (Writer::encode throws), but a
+// hand-built in-memory snapshot can hold one; the index must treat it as a
+// single link with a single neighbor entry, not a doubled one.
+TEST(SnapshotQuery, SelfLoopIsOneLinkOneNeighbor) {
+  Snapshot snap;
+  snap.rels_v4.set(5, 5, Relationship::S2S);
+  snap.rels_v4.set(5, 6, Relationship::P2C);
+  const QueryIndex index(snap);
+  EXPECT_EQ(index.link_count(), 2u);
+  EXPECT_EQ(index.as_count(), 2u);
+
+  const auto self = index.lookup(5, 5);
+  ASSERT_TRUE(self.has_value());
+  EXPECT_EQ(self->rel_v4, Relationship::S2S);
+
+  const auto neighbors = index.neighbors(5);
+  ASSERT_EQ(neighbors.size(), 2u);  // AS5 itself once, then AS6
+  EXPECT_EQ(neighbors[0].asn, 5u);
+  EXPECT_EQ(neighbors[1].asn, 6u);
+  EXPECT_EQ(neighbors[1].info.rel_v4, Relationship::P2C);
+}
+
+// A hand-built hybrid self-loop exercises the hybrid indexing path's
+// self-loop guard too.
+TEST(SnapshotQuery, HybridListSelfLoopIsDeduplicated) {
+  Snapshot snap;
+  snap.hybrids.push_back({LinkKey(7, 7), Relationship::P2P, Relationship::S2S, 0, 1});
+  const QueryIndex index(snap);
+  EXPECT_EQ(index.hybrid_count(), 1u);
+  const auto neighbors = index.neighbors(7);
+  ASSERT_EQ(neighbors.size(), 1u);
+  EXPECT_EQ(neighbors[0].asn, 7u);
+  EXPECT_TRUE(neighbors[0].info.hybrid);
+}
+
 TEST(SnapshotQuery, AgreesWithCensusMaps) {
   const Snapshot& snap = census_snapshot();
   const QueryIndex index(snap);

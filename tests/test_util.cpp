@@ -114,6 +114,27 @@ TEST(Strings, ParseU64) {
   EXPECT_FALSE(parse_u64("-1", v));
 }
 
+// The single strict ASN parse shared by the CLI arguments, the query
+// daemon's URL routing, and the RPSL aut-num parser.
+TEST(Strings, ParseAsn) {
+  Asn asn = 7;
+  EXPECT_TRUE(parse_asn("0", asn));
+  EXPECT_EQ(asn, 0u);
+  EXPECT_TRUE(parse_asn("3356", asn));
+  EXPECT_EQ(asn, 3356u);
+  EXPECT_TRUE(parse_asn("4294967295", asn));  // RFC 6793 ceiling
+  EXPECT_EQ(asn, 4294967295u);
+
+  asn = 7;
+  EXPECT_FALSE(parse_asn("4294967296", asn));  // one past the ceiling
+  EXPECT_FALSE(parse_asn("", asn));
+  EXPECT_FALSE(parse_asn("12x", asn));
+  EXPECT_FALSE(parse_asn("-1", asn));
+  EXPECT_FALSE(parse_asn("AS3356", asn));  // the textual prefix is the caller's job
+  EXPECT_FALSE(parse_asn("1.0", asn));     // asdot is not accepted
+  EXPECT_EQ(asn, 7u);  // failures never clobber the out-parameter
+}
+
 TEST(Strings, ContainsCi) {
   EXPECT_TRUE(contains_ci("Routes Learned From CUSTOMERS", "from customer"));
   EXPECT_FALSE(contains_ci("peer routes", "customer"));

@@ -10,9 +10,17 @@
 //                              plus any IRR text dump)
 //   inspect <rib.mrt>          per-record summary of an MRT file
 //   diff    <a.snap> <b.snap>  relationship churn between two snapshots
-//   query   <snap> <asn> [asn2]
+//   query   [--json] <snap> <asn> [asn2]
 //                              AS-pair relationship / AS neighbor-list lookup
-//                              against a snapshot
+//                              against a snapshot; --json emits the same
+//                              bytes the query daemon serves over HTTP
+//   serve   <snap> [--port N] [--jobs N]
+//                              long-running query daemon over one snapshot:
+//                              loads it once into a QueryIndex and serves
+//                              /v1/link, /v1/neighbors, /v1/summary,
+//                              /v1/healthz, /v1/metrics over HTTP/1.1 on
+//                              127.0.0.1; SIGHUP or POST /v1/reload hot-swaps
+//                              a freshly loaded snapshot without downtime
 //
 // The census subcommand is the adoption path for real data: it consumes
 // nothing but the two files.  `census --snapshot-out <file>` additionally
@@ -21,10 +29,11 @@
 // `query` consume those snapshots, which is how multi-RIB temporal studies
 // avoid re-running the census per question.
 //
-// `--jobs N` (anywhere on the command line) sizes the census thread pool:
-// 1 (the default) runs fully sequential, 0 uses one worker per hardware
-// thread.  Every value produces byte-identical reports and byte-identical
-// snapshot files.
+// `--jobs N` (anywhere on the command line) sizes the thread pool: for
+// census, 1 (the default) runs fully sequential and 0 uses one worker per
+// hardware thread — every value produces byte-identical reports and
+// byte-identical snapshot files.  For serve it sizes the connection worker
+// pool and defaults to 0 (a daemon should not serialize its clients).
 //
 // `census` ingests the MRT file by streaming it: headers are scanned
 // sequentially, record bodies decode in parallel batches, and routes join
@@ -32,12 +41,16 @@
 // ~3× the decoded RIB.  `--no-stream` selects the legacy load-all path;
 // both paths produce byte-identical reports.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/census_report.hpp"
@@ -48,6 +61,8 @@
 #include "mrt/stream_reader.hpp"
 #include "mrt/writer.hpp"
 #include "rpsl/object.hpp"
+#include "server/daemon.hpp"
+#include "server/render.hpp"
 #include "snapshot/diff.hpp"
 #include "snapshot/query.hpp"
 #include "snapshot/reader.hpp"
@@ -85,14 +100,25 @@ std::optional<std::uint64_t> parse_seed(const std::string& value) {
   return parsed;
 }
 
-/// Strict ASN parse for `query` (32-bit, RFC 6793).
-std::optional<Asn> parse_asn(const std::string& value) {
-  std::uint64_t parsed = 0;
-  if (!parse_u64(value, parsed) || parsed > 0xffffffffull) {
+/// Strict ASN parse for `query` — the shared util parse_asn plus the CLI's
+/// diagnostic.
+std::optional<Asn> parse_asn_arg(const std::string& value) {
+  Asn parsed = 0;
+  if (!parse_asn(value, parsed)) {
     std::cerr << "error: '" << value << "' is not a valid ASN (expected 0..4294967295)\n";
     return std::nullopt;
   }
-  return static_cast<Asn>(parsed);
+  return parsed;
+}
+
+/// Strict TCP port parse for `serve --port` (0 binds an ephemeral port).
+std::optional<std::uint16_t> parse_port(const std::string& value) {
+  std::uint64_t parsed = 0;
+  if (!parse_u64(value, parsed) || parsed > 65535) {
+    std::cerr << "error: --port expects an integer in [0, 65535], got '" << value << "'\n";
+    return std::nullopt;
+  }
+  return static_cast<std::uint16_t>(parsed);
 }
 
 int usage() {
@@ -102,7 +128,8 @@ int usage() {
                "                   <rib.mrt> <irr.txt>\n"
                "  hybridtor inspect <rib.mrt>\n"
                "  hybridtor diff <a.snap> <b.snap>\n"
-               "  hybridtor query <snap> <asn> [asn2]\n";
+               "  hybridtor query [--json] <snap> <asn> [asn2]\n"
+               "  hybridtor serve <snap> [--port N] [--jobs N]\n";
   return 2;
 }
 
@@ -322,16 +349,28 @@ int cmd_diff(const std::string& path_a, const std::string& path_b) {
   return 0;
 }
 
-int cmd_query(const std::string& snap_path, Asn asn, std::optional<Asn> other) {
+int cmd_query(const std::string& snap_path, Asn asn, std::optional<Asn> other, bool json) {
   const auto snap = load_snapshot(snap_path);
   const snapshot::QueryIndex index(snap);
 
+  // --json renders through server/render, the same functions the query
+  // daemon uses for its HTTP bodies — CLI stdout and a daemon response for
+  // the same snapshot are byte-identical, including the not-found shape.
   if (other) {
     const auto info = index.lookup(asn, *other);
     if (!info) {
-      std::cerr << "AS" << asn << "-AS" << *other << ": no relationship recorded in "
-                << snap_path << "\n";
+      const std::string why = "AS" + std::to_string(asn) + "-AS" + std::to_string(*other) +
+                              ": no relationship recorded in " + snap_path;
+      if (json) {
+        std::cout << server::error_json(why);
+      } else {
+        std::cerr << why << "\n";
+      }
       return 1;
+    }
+    if (json) {
+      std::cout << server::link_json(asn, *other, *info);
+      return 0;
     }
     std::cout << "AS" << asn << " -> AS" << *other << ": v4 " << to_string(info->rel_v4)
               << ", v6 " << to_string(info->rel_v6) << (info->hybrid ? ", hybrid" : "") << "\n";
@@ -339,8 +378,17 @@ int cmd_query(const std::string& snap_path, Asn asn, std::optional<Asn> other) {
   }
 
   if (!index.contains(asn)) {
-    std::cerr << "AS" << asn << ": not present in " << snap_path << "\n";
+    const std::string why = "AS" + std::to_string(asn) + ": not present in " + snap_path;
+    if (json) {
+      std::cout << server::error_json(why);
+    } else {
+      std::cerr << why << "\n";
+    }
     return 1;
+  }
+  if (json) {
+    std::cout << server::neighbors_json(asn, index.neighbors(asn));
+    return 0;
   }
   const auto neighbors = index.neighbors(asn);
   std::cout << "AS" << asn << ": " << neighbors.size() << " neighbors in " << snap_path << "\n";
@@ -353,19 +401,74 @@ int cmd_query(const std::string& snap_path, Asn asn, std::optional<Asn> other) {
   return 0;
 }
 
+// ------------------------------------------------------------------- serve
+
+/// Signal plumbing for `serve`: INT/TERM request shutdown, HUP requests a
+/// zero-downtime snapshot reload.  Handlers only set lock-free flags — no
+/// object is ever touched from signal context (a handler racing the
+/// daemon's destructor on another thread could otherwise use a dead
+/// pointer); the serve loop forwards the reload flag on its next tick.
+std::atomic<bool> g_serve_stop{false};
+std::atomic<bool> g_serve_reload{false};
+
+void serve_signal(int sig) {
+  if (sig == SIGHUP) {
+    g_serve_reload.store(true);
+    return;
+  }
+  g_serve_stop.store(true);
+}
+
+int cmd_serve(const std::string& snap_path, std::uint16_t port, std::size_t jobs) {
+  server::DaemonConfig config;
+  config.port = port;
+  config.jobs = jobs;
+  server::QueryDaemon daemon(snap_path, config);
+
+  struct sigaction sa = {};
+  sa.sa_handler = serve_signal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGHUP, &sa, nullptr);
+
+  daemon.start();
+  std::cout << "serving " << snap_path << " on http://127.0.0.1:" << daemon.port()
+            << " (epoch " << daemon.epoch() << ", " << jobs << " jobs)\n"
+            << "endpoints: /v1/link/<a>/<b> /v1/neighbors/<asn> /v1/summary"
+               " /v1/healthz /v1/metrics; POST /v1/reload or SIGHUP to hot-reload\n"
+            << std::flush;
+
+  while (!g_serve_stop.load()) {
+    if (g_serve_reload.exchange(false)) daemon.request_reload();
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::cout << "shutting down...\n";
+  daemon.stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // Split the command line into positionals and options, which are accepted
-  // anywhere (before or after the subcommand's file arguments).
+  // anywhere (before or after the subcommand's file arguments).  Anything
+  // that *looks* like an option but is not one the CLI knows is rejected
+  // with a reasoned error — silently treating "--frobnicate" as an input
+  // file would turn a typo into a confusing "cannot open" failure later.
   std::vector<std::string> args;
-  std::size_t jobs = 1;
+  std::optional<std::size_t> jobs;
   bool streaming = true;
+  bool json = false;
   std::optional<std::string> snapshot_out;
+  std::optional<std::uint16_t> port;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--no-stream") {
       streaming = false;
+      continue;
+    }
+    if (arg == "--json") {
+      json = true;
       continue;
     }
     if (arg == "--jobs" || arg == "-j") {
@@ -384,6 +487,21 @@ int main(int argc, char** argv) {
       jobs = *parsed;
       continue;
     }
+    if (arg == "--port" || arg.rfind("--port=", 0) == 0) {
+      std::string value;
+      if (arg.size() > 6 && arg[6] == '=') {
+        value = arg.substr(7);
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::cerr << "error: --port requires a value\n";
+        return 2;
+      }
+      const auto parsed = parse_port(value);
+      if (!parsed) return 2;
+      port = *parsed;
+      continue;
+    }
     if (arg == "--snapshot-out" || arg.rfind("--snapshot-out=", 0) == 0) {
       if (arg.size() > 14 && arg[14] == '=') {
         snapshot_out = arg.substr(15);
@@ -397,12 +515,24 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (arg.size() > 1 && arg[0] == '-') {
+      std::cerr << "error: unknown option '" << arg << "'\n";
+      return usage();
+    }
     args.push_back(arg);
   }
   if (args.empty()) return usage();
   const std::string& cmd = args[0];
   if (snapshot_out && cmd != "census") {
     std::cerr << "error: --snapshot-out is only valid with the census subcommand\n";
+    return 2;
+  }
+  if (json && cmd != "query") {
+    std::cerr << "error: --json is only valid with the query subcommand\n";
+    return 2;
+  }
+  if (port && cmd != "serve") {
+    std::cerr << "error: --port is only valid with the serve subcommand\n";
     return 2;
   }
   try {
@@ -416,20 +546,26 @@ int main(int argc, char** argv) {
       return cmd_generate(args[1], seed);
     }
     if (cmd == "census" && args.size() == 3) {
-      return cmd_census(args[1], args[2], jobs, streaming, snapshot_out);
+      return cmd_census(args[1], args[2], jobs.value_or(1), streaming, snapshot_out);
     }
     if (cmd == "inspect" && args.size() == 2) return cmd_inspect(args[1]);
     if (cmd == "diff" && args.size() == 3) return cmd_diff(args[1], args[2]);
     if (cmd == "query" && (args.size() == 3 || args.size() == 4)) {
-      const auto asn = parse_asn(args[2]);
+      const auto asn = parse_asn_arg(args[2]);
       if (!asn) return 2;
       std::optional<Asn> other;
       if (args.size() == 4) {
-        const auto parsed = parse_asn(args[3]);
+        const auto parsed = parse_asn_arg(args[3]);
         if (!parsed) return 2;
         other = *parsed;
       }
-      return cmd_query(args[1], *asn, other);
+      return cmd_query(args[1], *asn, other, json);
+    }
+    if (cmd == "serve" && args.size() == 2) {
+      // serve defaults --jobs to 0 (one connection worker per hardware
+      // thread): unlike the batch census, a daemon's default should not be
+      // a single inline worker that serializes every client.
+      return cmd_serve(args[1], port.value_or(8080), jobs.value_or(0));
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
