@@ -68,6 +68,8 @@ MrtStreamReader::MrtStreamReader(const std::string& path, std::size_t io_buffer_
 std::optional<RawFramedRecord> MrtStreamReader::next() {
   constexpr std::size_t kHeaderBytes = 12;
   std::uint8_t header[kHeaderBytes];
+  // lint: allow(raw-cast) istream::read takes char*; the bytes are decoded
+  // through ByteReader afterwards, never via pointer casts
   in_.read(reinterpret_cast<char*>(header), kHeaderBytes);
   const std::streamsize got = in_.gcount();
   if (got == 0 && in_.eof()) return std::nullopt;  // clean end-of-file
@@ -104,6 +106,8 @@ std::optional<RawFramedRecord> MrtStreamReader::next() {
   }
 
   rec.body.resize(length);
+  // lint: allow(raw-cast) istream::read takes char*; `length` was bounded
+  // against the file size above before the resize
   in_.read(reinterpret_cast<char*>(rec.body.data()), static_cast<std::streamsize>(length));
   if (in_.gcount() < static_cast<std::streamsize>(length)) {
     if (in_.eof()) {  // file shrank under us

@@ -116,6 +116,7 @@ void MrtWriter::write(const Record& record) {
 void MrtWriter::save(const std::string& path) const {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw Error("cannot open '" + path + "' for writing");
+  // lint: allow(raw-cast) ostream::write takes const char*; output path only
   out.write(reinterpret_cast<const char*>(buffer_.data()),
             static_cast<std::streamsize>(buffer_.size()));
   if (!out) throw Error("write to '" + path + "' failed");

@@ -111,6 +111,7 @@ void QueryDaemon::start() {
   addr.sin_family = AF_INET;
   addr.sin_port = htons(config_.port);
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  // lint: allow(raw-cast) sockaddr_in -> sockaddr is the BSD sockets ABI
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
     const std::string why = std::strerror(errno);
     ::close(listen_fd_);
@@ -125,11 +126,14 @@ void QueryDaemon::start() {
   }
   sockaddr_in bound{};
   socklen_t bound_len = sizeof(bound);
+  // lint: allow(raw-cast) sockaddr_in -> sockaddr is the BSD sockets ABI
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
     bound_port_ = ntohs(bound.sin_port);
   }
   stop_.store(false);
   running_.store(true);
+  // lint: allow(naked-thread) the acceptor must outlive pool tasks and poll
+  // its own fd; it is joined by stop() before the pool is torn down
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 

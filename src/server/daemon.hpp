@@ -135,6 +135,7 @@ class QueryDaemon {
   std::mutex reload_mutex_;  ///< serializes concurrent reload() calls
 
   ThreadPool pool_;
+  // lint: allow(naked-thread) dedicated acceptor; joined in stop()
   std::thread acceptor_;
   int listen_fd_ = -1;
   std::uint16_t bound_port_ = 0;

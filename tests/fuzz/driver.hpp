@@ -1,0 +1,212 @@
+// Deterministic fuzz driver shared by the decoder fuzz targets.
+//
+// This is not coverage-guided libFuzzer: it is a fixed-seed structured
+// mutator over a committed seed corpus, bounded to an explicit iteration
+// budget so the same binary produces the same byte streams on every machine
+// and every CI run.  Each target feeds the mutated bytes to one decoder and
+// asserts the fail-clean contract the readers are built on: every input
+// either parses completely or is rejected with a reasoned error — never a
+// crash, never a partial result.  A contract violation aborts the run with
+// the iteration number and mutation seed, which is enough to replay it.
+//
+// Mutation strategies (picked per iteration from util::Rng):
+//   - truncate:     cut the input at a random byte (every decoder must
+//                   survive truncation at *any* offset);
+//   - bit_flip:     flip 1..8 random bits;
+//   - byte_splat:   overwrite a random run with 0x00 / 0xff / random bytes;
+//   - length_field: overwrite 2/4/8 bytes at a random offset with a huge,
+//                   zero, or off-by-one big-endian integer — the classic
+//                   count-field corruption every bounded reader must catch;
+//   - splice:       head of one corpus item + tail of another;
+//   - extend:       append random bytes (trailing garbage must be rejected,
+//                   not silently ignored);
+//   - identity:     the unmutated seed (the corpus itself must parse).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace htor::fuzz {
+
+/// What one decoder invocation did with the input.  Anything else — another
+/// exception type escaping, a crash, a partial result — is a contract
+/// violation and the harness exits non-zero.
+enum class Outcome {
+  Parsed,    ///< full clean parse
+  Rejected,  ///< reasoned DecodeError/ParseError (or 4xx for HTTP)
+};
+
+class Mutator {
+ public:
+  explicit Mutator(std::uint64_t seed) : rng_(seed) {}
+
+  std::vector<std::uint8_t> mutate(const std::vector<std::vector<std::uint8_t>>& corpus) {
+    const auto& base = corpus[rng_.index(corpus.size())];
+    std::vector<std::uint8_t> out = base;
+    switch (rng_.index(7)) {
+      case 0:  // truncate
+        if (!out.empty()) out.resize(rng_.index(out.size()));
+        break;
+      case 1: {  // bit_flip
+        if (out.empty()) break;
+        const std::size_t flips = 1 + rng_.index(8);
+        for (std::size_t i = 0; i < flips; ++i) {
+          out[rng_.index(out.size())] ^= static_cast<std::uint8_t>(1u << rng_.index(8));
+        }
+        break;
+      }
+      case 2: {  // byte_splat
+        if (out.empty()) break;
+        const std::size_t begin = rng_.index(out.size());
+        const std::size_t len = 1 + rng_.index(std::min<std::size_t>(out.size() - begin, 16));
+        const std::uint8_t fill[] = {0x00, 0xff, static_cast<std::uint8_t>(rng_.uniform(0, 255))};
+        const std::uint8_t value = fill[rng_.index(3)];
+        for (std::size_t i = 0; i < len; ++i) out[begin + i] = value;
+        break;
+      }
+      case 3: {  // length_field corruption
+        static constexpr std::size_t kWidths[] = {2, 4, 8};
+        const std::size_t width = kWidths[rng_.index(3)];
+        if (out.size() < width) break;
+        const std::size_t at = rng_.index(out.size() - width + 1);
+        std::uint64_t value = 0;
+        switch (rng_.index(4)) {
+          case 0: value = ~std::uint64_t{0}; break;                    // absurd
+          case 1: value = 0; break;                                    // zero
+          case 2: value = rng_.uniform(0, 0xffff); break;              // plausible
+          case 3: value = std::uint64_t{1} << rng_.index(63); break;   // power of two
+        }
+        for (std::size_t i = 0; i < width; ++i) {
+          out[at + i] = static_cast<std::uint8_t>(value >> (8 * (width - 1 - i)));
+        }
+        break;
+      }
+      case 4: {  // splice
+        const auto& other = corpus[rng_.index(corpus.size())];
+        if (out.empty() || other.empty()) break;
+        out.resize(rng_.index(out.size()) + 1);
+        const std::size_t from = rng_.index(other.size());
+        out.insert(out.end(), other.begin() + static_cast<long>(from), other.end());
+        break;
+      }
+      case 5: {  // extend with trailing garbage
+        const std::size_t extra = 1 + rng_.index(32);
+        for (std::size_t i = 0; i < extra; ++i) {
+          out.push_back(static_cast<std::uint8_t>(rng_.uniform(0, 255)));
+        }
+        break;
+      }
+      case 6:  // identity
+      default:
+        break;
+    }
+    return out;
+  }
+
+ private:
+  Rng rng_;
+};
+
+/// Load every regular file of `dir` as a corpus item, sorted by filename so
+/// the corpus order (and with it the whole run) is deterministic.
+inline std::vector<std::vector<std::uint8_t>> load_corpus(const std::string& dir) {
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<std::vector<std::uint8_t>> corpus;
+  corpus.reserve(paths.size());
+  for (const auto& path : paths) corpus.push_back(load_bytes(path.string()));
+  if (corpus.empty()) throw Error("fuzz corpus directory '" + dir + "' has no seed files");
+  return corpus;
+}
+
+/// Standard fuzz-target main loop.  `target` maps mutated bytes to an
+/// Outcome and is expected to let only the contract exceptions escape as
+/// Rejected; the harness catches everything else and fails the run.
+/// `classify` failures by reason prefix so triage can bucket them.
+template <typename Target>
+int run_target(const char* name, int argc, char** argv, Target target) {
+  if (argc < 2) {
+    std::cerr << "usage: " << name << " <corpus_dir> [iterations] [seed]\n";
+    return 2;
+  }
+  std::size_t iterations = 2000;
+  std::uint64_t seed = 1;
+  if (argc > 2) iterations = static_cast<std::size_t>(std::strtoull(argv[2], nullptr, 10));
+  if (argc > 3) seed = std::strtoull(argv[3], nullptr, 10);
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  try {
+    corpus = load_corpus(argv[1]);
+  } catch (const std::exception& e) {
+    std::cerr << name << ": " << e.what() << "\n";
+    return 2;
+  }
+
+  Mutator mutator(seed);
+  std::size_t parsed = 0;
+  std::size_t rejected = 0;
+  std::map<std::string, std::size_t> reasons;  // first words of each error
+
+  // The unmutated corpus must hold the contract too (and the seeds are
+  // expected to actually parse — a corpus of already-broken files would
+  // fuzz nothing but the error paths).
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    try {
+      if (target(corpus[i]) != Outcome::Parsed) {
+        std::cerr << name << ": seed corpus item " << i << " does not parse cleanly\n";
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << name << ": seed corpus item " << i << " violated the contract: " << e.what()
+                << "\n";
+      return 1;
+    }
+  }
+
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const auto input = mutator.mutate(corpus);
+    try {
+      switch (target(input)) {
+        case Outcome::Parsed: ++parsed; break;
+        case Outcome::Rejected: ++rejected; break;
+      }
+    } catch (const DecodeError& e) {
+      ++rejected;
+      const std::string what = e.what();
+      ++reasons[what.substr(0, what.find_first_of("0123456789'"))];
+    } catch (const ParseError& e) {
+      ++rejected;
+      const std::string what = e.what();
+      ++reasons[what.substr(0, what.find_first_of("0123456789'"))];
+    } catch (const std::exception& e) {
+      // Any other exception type is a bug: the decoders promise reasoned
+      // DecodeError/ParseError rejection, nothing else.
+      std::cerr << name << ": iteration " << i << " (seed " << seed
+                << "): contract violation, unexpected " << typeid(e).name() << ": " << e.what()
+                << "\n";
+      return 1;
+    }
+  }
+
+  std::cout << name << ": " << iterations << " iterations over " << corpus.size()
+            << " seeds (seed " << seed << "): " << parsed << " parsed, " << rejected
+            << " rejected, 0 crashes\n";
+  for (const auto& [reason, count] : reasons) {
+    std::cout << "  " << count << "x " << reason << "\n";
+  }
+  return 0;
+}
+
+}  // namespace htor::fuzz

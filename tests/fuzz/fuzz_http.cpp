@@ -1,0 +1,93 @@
+// Fuzz target: the HTTP/1.1 request parser (server::RequestParser).
+//
+// The parser never throws — its contract is a typed verdict per request:
+// Done with a valid request, Bad with a 4xx status and a reasoned message,
+// or NeedMore for a stream that ends mid-request (a socket peer that went
+// quiet).  Two properties are asserted per input:
+//
+//   1. Verdict sanity: Bad always carries a status in 400..499 and a
+//      non-empty reason; Done always carries a non-empty method and a
+//      target starting with '/' (origin-form).
+//   2. Chunking independence: feeding the same bytes one byte at a time
+//      must produce exactly the same sequence of verdicts (and parsed
+//      method/target per request) as feeding them all at once.  Incremental
+//      parsers love to hide state bugs in the resume paths; this catches
+//      them without a socket.
+#include "fuzz/driver.hpp"
+
+#include "server/http.hpp"
+
+using namespace htor;
+using htor::server::RequestParser;
+
+namespace {
+
+/// One parsed-or-rejected event in a request stream.
+struct Event {
+  char kind;           // 'D' done, 'B' bad
+  int status;          // error status for 'B', 0 for 'D'
+  std::string method;  // for 'D'
+  std::string target;  // for 'D'
+
+  bool operator==(const Event& other) const = default;
+};
+
+/// Run the parser over `input` delivered in `chunk`-byte slices; record the
+/// stream of events.  Throws (failing the fuzz contract) on any verdict
+/// that violates the parser's own guarantees.
+std::vector<Event> drive(const std::vector<std::uint8_t>& input, std::size_t chunk) {
+  std::vector<Event> events;
+  RequestParser parser;
+  std::string pending;
+  std::size_t offset = 0;
+  while (offset < input.size() || !pending.empty()) {
+    if (pending.empty()) {
+      const std::size_t take = std::min(chunk, input.size() - offset);
+      pending.assign(reinterpret_cast<const char*>(input.data()) + offset, take);
+      offset += take;
+    }
+    std::size_t consumed = 0;
+    const auto status = parser.feed(pending, consumed);
+    pending.erase(0, consumed);
+    if (status == RequestParser::Status::Bad) {
+      if (parser.error_status() < 400 || parser.error_status() > 499) {
+        throw std::runtime_error("Bad verdict with non-4xx status " +
+                                 std::to_string(parser.error_status()));
+      }
+      if (parser.error().empty()) {
+        throw std::runtime_error("Bad verdict with an empty reason");
+      }
+      events.push_back({'B', parser.error_status(), "", ""});
+      break;  // the stream is unsynchronized after a parse error
+    }
+    if (status == RequestParser::Status::Done) {
+      const auto& request = parser.request();
+      if (request.method.empty() || request.target.empty() || request.target[0] != '/') {
+        throw std::runtime_error("Done verdict with an invalid request line");
+      }
+      events.push_back({'D', 0, request.method, request.target});
+      parser = RequestParser();  // next pipelined request
+      continue;
+    }
+    // NeedMore: the parser consumed everything it was given.
+    if (!pending.empty()) throw std::runtime_error("NeedMore left bytes unconsumed");
+  }
+  return events;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return fuzz::run_target("fuzz_http", argc, argv, [](const std::vector<std::uint8_t>& input) {
+    const auto bulk = drive(input, input.empty() ? 1 : input.size());
+    const auto trickle = drive(input, 1);
+    if (bulk != trickle) {
+      throw std::runtime_error("verdicts differ between bulk and byte-at-a-time delivery");
+    }
+    // Parsed = at least one complete request and no Bad verdict; everything
+    // else (rejected or truncated mid-request) counts as a rejection.
+    const bool any_bad = !bulk.empty() && bulk.back().kind == 'B';
+    const bool any_done = !bulk.empty() && bulk.front().kind == 'D';
+    return (any_done && !any_bad) ? fuzz::Outcome::Parsed : fuzz::Outcome::Rejected;
+  });
+}

@@ -1,0 +1,29 @@
+// Fuzz target: the snapshot reader (snapshot::Reader::decode).
+//
+// Contract asserted per input: decode yields a full Snapshot or throws a
+// reasoned DecodeError.  Accepted inputs face a second, stronger oracle —
+// the format's canonical-encoding guarantee: re-encoding the decoded
+// snapshot must reproduce the input byte for byte.  A mutation the reader
+// accepts but cannot round-trip means the format stopped being injective
+// (some byte was silently ignored), which is exactly the class of bug that
+// breaks snapshot diffing and --jobs determinism.
+#include "fuzz/driver.hpp"
+
+#include "snapshot/reader.hpp"
+#include "snapshot/writer.hpp"
+
+using namespace htor;
+
+int main(int argc, char** argv) {
+  return fuzz::run_target("fuzz_snapshot", argc, argv,
+                          [](const std::vector<std::uint8_t>& input) {
+    const auto snap = snapshot::Reader::decode(input);
+    const auto reencoded = snapshot::Writer::encode(snap);
+    if (reencoded != input) {
+      throw std::runtime_error("accepted input does not re-encode canonically (" +
+                               std::to_string(input.size()) + " bytes in, " +
+                               std::to_string(reencoded.size()) + " bytes out)");
+    }
+    return fuzz::Outcome::Parsed;
+  });
+}

@@ -1,0 +1,153 @@
+// Regenerates the committed fuzz seed corpora under tests/fuzz/corpus/.
+//
+//   fuzz_make_corpus <corpus_root>
+//
+// The seeds are deterministic (fixed generator seeds, fixed timestamps) so
+// re-running this tool produces byte-identical files; CI never runs it —
+// the corpora are committed, and this tool exists so they can be extended
+// or regenerated when a format grows new features.  Keep seeds small:
+// mutation coverage per iteration scales with how much of the structure a
+// few flipped bytes can reach, and a 5 KB seed fuzzes far better than a
+// 5 MB one on the same budget.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/census_report.hpp"
+#include "core/hybrid.hpp"
+#include "core/snapshot_bridge.hpp"
+#include "gen/internet.hpp"
+#include "mrt/reader.hpp"
+#include "mrt/rib_view.hpp"
+#include "mrt/writer.hpp"
+#include "rpsl/object.hpp"
+#include "snapshot/snapshot.hpp"
+#include "snapshot/writer.hpp"
+#include "util/bytes.hpp"
+
+using namespace htor;
+
+namespace {
+
+void write_file(const std::filesystem::path& path, std::span<const std::uint8_t> data) {
+  save_bytes(path.string(), data);
+  std::cout << "wrote " << path.string() << " (" << data.size() << " bytes)\n";
+}
+
+void write_text(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  out.flush();
+  if (!out) throw Error("cannot write " + path.string());
+  std::cout << "wrote " << path.string() << " (" << text.size() << " bytes)\n";
+}
+
+// --------------------------------------------------------------------- mrt
+
+void make_mrt_seeds(const std::filesystem::path& dir) {
+  const auto net = gen::SyntheticInternet::generate(gen::small_params(7));
+  const auto records = mrt::records_from_rib(net.collect(), 0x0a0a0a0au, "fuzz", 1281052800u);
+
+  // Seed 1: PEER_INDEX_TABLE + a few dozen RIB records — enough structure
+  // (v4 and v6 prefixes, multiple entries per prefix, real path attributes)
+  // for length-field mutations to land somewhere interesting.
+  {
+    mrt::MrtWriter writer;
+    for (std::size_t i = 0; i < records.size() && i < 40; ++i) writer.write(records[i]);
+    write_file(dir / "rib_small.mrt", writer.data());
+  }
+
+  // Seed 2: the PIT plus exactly one v4 and one v6 record — the minimal
+  // joinable RIB, so truncation mutations probe every framing offset.
+  {
+    mrt::MrtWriter writer;
+    writer.write(records[0]);
+    for (std::size_t i = 1, taken = 0; i < records.size() && taken < 2; ++i) {
+      writer.write(records[i]);
+      ++taken;
+    }
+    write_file(dir / "rib_minimal.mrt", writer.data());
+  }
+}
+
+// ---------------------------------------------------------------- snapshot
+
+snapshot::Snapshot tiny_snapshot() {
+  snapshot::Snapshot snap;
+  snap.header.timestamp = 1700000000u;
+  snap.header.source = "fuzz-tiny.mrt";
+  snap.dataset = {10, 8, 5, 4, 3};
+  snap.coverage_v4 = {5, 4};
+  snap.coverage_v6 = {4, 3};
+  snap.coverage_dual = {3, 2};
+  snap.valleys_v4 = {8, 6, 1, 1, 1, 1};
+  snap.valleys_v6 = {6, 4, 2, 0, 2, 1};
+  snap.hybrid_counters = {3, 2, 8, 4};
+  snap.rels_v4.set(1, 2, Relationship::P2C);
+  snap.rels_v4.set(2, 3, Relationship::P2P);
+  snap.rels_v6.set(1, 2, Relationship::P2P);
+  snap.rels_v6.set(2, 3, Relationship::P2P);
+  snap.hybrids.push_back({LinkKey(1, 2), Relationship::P2C, Relationship::P2P,
+                          static_cast<std::uint8_t>(core::HybridClass::TransitV4PeerV6), 5});
+  return snap;
+}
+
+void make_snapshot_seeds(const std::filesystem::path& dir) {
+  write_file(dir / "tiny.snap", snapshot::Writer::encode(tiny_snapshot()));
+
+  // An empty-maps snapshot: the zero-count paths are their own edge case.
+  snapshot::Snapshot empty;
+  empty.header.timestamp = 1700000001u;
+  empty.header.source = "fuzz-empty.mrt";
+  write_file(dir / "empty.snap", snapshot::Writer::encode(empty));
+
+  // A census-sized snapshot from the synthetic generator: realistic counts,
+  // hundreds of map entries, a non-trivial hybrid list.
+  const auto net = gen::SyntheticInternet::generate(gen::small_params(21));
+  const auto dict = rpsl::mine_dictionary(rpsl::parse_objects(net.irr_dump()));
+  const auto report = core::run_census(net.collect(), dict);
+  const auto snap = core::to_snapshot(report, "fuzz-census.mrt", 1281052800u);
+  write_file(dir / "census.snap", snapshot::Writer::encode(snap));
+}
+
+// -------------------------------------------------------------------- http
+
+void make_http_seeds(const std::filesystem::path& dir) {
+  write_text(dir / "get_link.http",
+             "GET /v1/link/3356/1299 HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n");
+  write_text(dir / "pipelined.http",
+             "GET /v1/healthz HTTP/1.1\r\nHost: a\r\n\r\n"
+             "GET /v1/neighbors/15169 HTTP/1.1\r\nHost: a\r\nConnection: close\r\n\r\n");
+  write_text(dir / "post_reload.http",
+             "POST /v1/reload HTTP/1.1\r\nHost: localhost\r\nContent-Length: 2\r\n\r\n{}");
+  write_text(dir / "head.http",
+             "HEAD /v1/summary HTTP/1.0\r\nConnection: keep-alive\r\nUser-Agent: fuzz\r\n\r\n");
+  write_text(dir / "many_headers.http",
+             "GET /v1/metrics HTTP/1.1\r\nHost: h\r\nAccept: application/json\r\n"
+             "Accept-Encoding: identity\r\nX-Request-Id: 0123456789abcdef\r\n"
+             "Cache-Control: no-cache\r\nConnection: close\r\n\r\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: fuzz_make_corpus <corpus_root>\n";
+    return 2;
+  }
+  const std::filesystem::path root = argv[1];
+  try {
+    for (const char* sub : {"mrt", "snapshot", "http"}) {
+      std::filesystem::create_directories(root / sub);
+    }
+    make_mrt_seeds(root / "mrt");
+    make_snapshot_seeds(root / "snapshot");
+    make_http_seeds(root / "http");
+  } catch (const std::exception& e) {
+    std::cerr << "fuzz_make_corpus: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

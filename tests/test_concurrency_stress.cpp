@@ -1,0 +1,403 @@
+// Concurrency stress suite — written to be run under ThreadSanitizer.
+//
+// Functionally these tests assert ordinary invariants (statuses sane, epochs
+// monotonic, every submitted task ran); their real job is to generate the
+// interleavings TSan needs to prove the absence of data races in the
+// daemon's hot-reload state swap, the connection pump's worker hand-off,
+// overlapping shard_map calls on one ThreadPool, and pool shutdown
+// ordering.  Removing the state_mutex_ lock around QueryDaemon's
+// shared_ptr swap makes DirectHandleStormRacesReload fail under TSan
+// within milliseconds (verified once by hand; see CHANGES.md for PR 6).
+//
+// Budgets are deliberately modest: the suite must stay fast enough for the
+// plain unit loop while still giving a sanitizer thousands of cross-thread
+// handoffs to inspect.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/hybrid.hpp"
+#include "core/parallel.hpp"
+#include "server/daemon.hpp"
+#include "snapshot/snapshot.hpp"
+#include "snapshot/writer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace htor {
+namespace {
+
+using server::DaemonConfig;
+using server::HttpRequest;
+using server::QueryDaemon;
+
+// ------------------------------------------------------------ fixtures
+
+/// Two observably different snapshots: flavor A makes link 1-2 hybrid,
+/// flavor B resolves it, so a reload is visible in responses.
+snapshot::Snapshot make_snapshot(bool flavor_a) {
+  snapshot::Snapshot snap;
+  snap.header.timestamp = flavor_a ? 1700000000u : 1700086400u;
+  snap.header.source = flavor_a ? "stress-a.mrt" : "stress-b.mrt";
+  snap.dataset = {10, 8, 5, 4, 3};
+  snap.rels_v4.set(1, 2, Relationship::P2C);
+  snap.rels_v4.set(2, 3, Relationship::P2P);
+  snap.rels_v6.set(1, 2, flavor_a ? Relationship::P2P : Relationship::P2C);
+  snap.rels_v6.set(3, 4, Relationship::C2P);
+  if (flavor_a) {
+    snap.hybrids.push_back({LinkKey(1, 2), Relationship::P2C, Relationship::P2P,
+                            static_cast<std::uint8_t>(core::HybridClass::TransitV4PeerV6), 5});
+  }
+  return snap;
+}
+
+/// Atomically replace `path` with `snap` (write-to-temp + rename) so a
+/// concurrent reload() never reads a torn file — torn-file handling has its
+/// own test below.
+void swap_snapshot_file(const std::string& path, const snapshot::Snapshot& snap) {
+  const std::string tmp = path + ".tmp";
+  snapshot::Writer::write_file(snap, tmp);
+  std::filesystem::rename(tmp, path);
+}
+
+HttpRequest get(const std::string& target) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = target;
+  return request;
+}
+
+class ConcurrencyStress : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    snap_path_ = (std::filesystem::temp_directory_path() /
+                  ("htor_stress_" + std::to_string(::getpid()) + ".snap"))
+                     .string();
+    swap_snapshot_file(snap_path_, make_snapshot(true));
+  }
+  void TearDown() override {
+    std::filesystem::remove(snap_path_);
+    std::filesystem::remove(snap_path_ + ".tmp");
+  }
+
+  std::string snap_path_;
+};
+
+// ------------------------------------------------- daemon state-swap races
+
+// The prime suspect from the issue: QueryDaemon::reload() swapping the
+// state_ shared_ptr while reader threads copy it in current().  handle() is
+// driven directly (no sockets) so the threads spend all their time on the
+// swap path, which is exactly what gives TSan its interleavings.  Removing
+// the state_mutex_ guard makes this test fail under TSan.
+TEST_F(ConcurrencyStress, DirectHandleStormRacesReload) {
+  DaemonConfig config;
+  config.jobs = 2;
+  QueryDaemon daemon(snap_path_, config);  // not start()ed: no sockets needed
+
+  constexpr int kReaderThreads = 4;
+  constexpr int kRequestsPerThread = 400;
+  std::atomic<bool> go{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaderThreads);
+  for (int t = 0; t < kReaderThreads; ++t) {
+    readers.emplace_back([&daemon, &go, &failures, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::uint64_t last_epoch = 0;
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const auto& target = (i + t) % 3 == 0   ? "/v1/link/1/2"
+                             : (i + t) % 3 == 1 ? "/v1/summary"
+                                                : "/v1/metrics";
+        const auto resp = daemon.handle(get(target));
+        if (resp.status != 200) failures.fetch_add(1, std::memory_order_relaxed);
+        // Epochs a single thread observes never go backwards: a reload
+        // that published state N must not be followed by a read of N-1.
+        const auto epoch = daemon.epoch();
+        if (epoch < last_epoch) failures.fetch_add(1, std::memory_order_relaxed);
+        last_epoch = epoch;
+      }
+    });
+  }
+
+  std::thread reloader([this, &daemon, &go] {
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    for (int i = 0; i < 60; ++i) {
+      swap_snapshot_file(snap_path_, make_snapshot(i % 2 == 1));
+      EXPECT_TRUE(daemon.reload());
+    }
+  });
+
+  go.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+  reloader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(daemon.epoch(), 61u);  // initial load + 60 reloads
+}
+
+// reload() called concurrently from many threads (the POST /v1/reload path:
+// several clients can hit it at once) interleaved with request_reload()
+// (the SIGHUP path).  reload_mutex_ must serialize the decodes and the
+// epoch must advance exactly once per successful reload.
+TEST_F(ConcurrencyStress, ConcurrentReloadersSerializeCleanly) {
+  DaemonConfig config;
+  config.jobs = 2;
+  QueryDaemon daemon(snap_path_, config);
+
+  constexpr int kThreads = 4;
+  constexpr int kReloadsPerThread = 25;
+  std::atomic<bool> go{false};
+  std::atomic<int> ok{0};
+  std::vector<std::thread> reloaders;
+  for (int t = 0; t < kThreads; ++t) {
+    reloaders.emplace_back([&daemon, &go, &ok] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kReloadsPerThread; ++i) {
+        daemon.request_reload();  // flag-only path must stay benign
+        if (daemon.reload()) ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& thread : reloaders) thread.join();
+
+  EXPECT_EQ(ok.load(), kThreads * kReloadsPerThread);
+  EXPECT_EQ(daemon.epoch(), 1u + kThreads * kReloadsPerThread);
+}
+
+// A reload that races a writer mid-rewrite of the snapshot file must either
+// succeed on a complete file or fail cleanly and keep the old state — never
+// crash, never serve a half-decoded snapshot.
+TEST_F(ConcurrencyStress, TornSnapshotFileNeverServesPartially) {
+  DaemonConfig config;
+  config.jobs = 2;
+  QueryDaemon daemon(snap_path_, config);
+
+  std::atomic<bool> stop_writer{false};
+  std::thread writer([this, &stop_writer] {
+    const auto bytes = snapshot::Writer::encode(make_snapshot(false));
+    while (!stop_writer.load(std::memory_order_acquire)) {
+      // Deliberately non-atomic rewrite: truncate, then two partial writes.
+      std::ofstream out(snap_path_, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size() / 2));
+      out.flush();
+      out.write(reinterpret_cast<const char*>(bytes.data() + bytes.size() / 2),
+                static_cast<std::streamsize>(bytes.size() - bytes.size() / 2));
+    }
+  });
+
+  int ok = 0;
+  int failed = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (daemon.reload()) {
+      ++ok;
+    } else {
+      ++failed;
+      EXPECT_FALSE(daemon.last_reload_error().empty());
+    }
+    // Whatever the reload outcome, the daemon keeps answering coherently.
+    EXPECT_EQ(daemon.handle(get("/v1/summary")).status, 200);
+  }
+  stop_writer.store(true, std::memory_order_release);
+  writer.join();
+  EXPECT_EQ(ok + failed, 50);
+}
+
+// ------------------------------------------------- socket-level free-for-all
+
+// Real sockets, keep-alive clients, reloads and stop() all at once: the
+// closest the unit loop gets to production traffic.  Exercises the pump's
+// yield/re-enqueue hand-off (worker ownership of a Connection migrates
+// between pool threads) under load.
+TEST_F(ConcurrencyStress, SocketClientsRaceHotReloadAndShutdown) {
+  DaemonConfig config;
+  config.port = 0;
+  config.jobs = 3;
+  auto daemon = std::make_unique<QueryDaemon>(snap_path_, config);
+  daemon->start();
+  const std::uint16_t port = daemon->port();
+  ASSERT_NE(port, 0);
+
+  constexpr int kClients = 3;
+  constexpr int kRequestsPerClient = 40;
+  std::atomic<int> transport_errors{0};
+  std::atomic<int> bad_statuses{0};
+
+  auto client_loop = [&](int id) {
+    for (int i = 0; i < kRequestsPerClient; ++i) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(port);
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        transport_errors.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const std::string target = (i + id) % 2 == 0 ? "/v1/link/1/2" : "/v1/healthz";
+      const std::string request = "GET " + target + " HTTP/1.1\r\nConnection: close\r\n\r\n";
+      if (::send(fd, request.data(), request.size(), MSG_NOSIGNAL) !=
+          static_cast<ssize_t>(request.size())) {
+        ::close(fd);
+        transport_errors.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      std::string reply;
+      char buf[2048];
+      ssize_t n = 0;
+      while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) reply.append(buf, std::size_t(n));
+      ::close(fd);
+      if (reply.rfind("HTTP/1.1 200", 0) != 0) {
+        bad_statuses.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) clients.emplace_back(client_loop, c);
+
+  for (int i = 0; i < 10; ++i) {
+    swap_snapshot_file(snap_path_, make_snapshot(i % 2 == 1));
+    EXPECT_TRUE(daemon->reload());
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(transport_errors.load(), 0);
+  EXPECT_EQ(bad_statuses.load(), 0);
+
+  // Shutdown ordering: destroy the daemon (stop + quiesce + pool teardown)
+  // immediately after traffic with no settling sleep.
+  daemon.reset();
+}
+
+// stop() while clients hold half-written requests: the pump must observe
+// stop_ on its next tick and the destructor must quiesce without waiting on
+// the idle timeout or deadlocking against self-re-enqueued pump tasks.
+TEST_F(ConcurrencyStress, StopWithIdleAndHalfOpenConnectionsQuiesces) {
+  DaemonConfig config;
+  config.port = 0;
+  config.jobs = 2;
+  config.idle_timeout_ms = 60000;  // stop() must NOT need the idle reaper
+  QueryDaemon daemon(snap_path_, config);
+  daemon.start();
+
+  std::vector<int> fds;
+  for (int i = 0; i < 4; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(daemon.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+    if (i % 2 == 0) {
+      // Half a request: the parser is mid-request-line when stop arrives.
+      const std::string partial = "GET /v1/lin";
+      ASSERT_EQ(::send(fd, partial.data(), partial.size(), MSG_NOSIGNAL),
+                static_cast<ssize_t>(partial.size()));
+    }
+    fds.push_back(fd);
+  }
+  // Give the acceptor a tick to hand the connections to the pool.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  daemon.stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(), 10);
+  for (int fd : fds) ::close(fd);
+}
+
+// --------------------------------------------------- thread pool / parallel
+
+// Overlapping shard_map calls on one shared pool, from multiple threads at
+// once — the census pipeline does exactly this when both address families
+// are inferred in flight.  Results must be correct and the merge order
+// deterministic regardless of interleaving.
+TEST(ThreadPoolStress, OverlappingShardMapsComputeCorrectSums) {
+  ThreadPool pool(3);
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 25;
+  constexpr std::size_t kN = 1000;
+  const std::uint64_t expected = kN * (kN - 1) / 2;
+
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&pool, &wrong] {
+      for (int round = 0; round < kRounds; ++round) {
+        const auto total = core::shard_map_reduce(
+            pool, kN,
+            [](core::ShardRange range) {
+              std::uint64_t sum = 0;
+              for (std::size_t i = range.begin; i < range.end; ++i) sum += i;
+              return sum;
+            },
+            std::uint64_t{0}, [](std::uint64_t& acc, std::uint64_t part) { acc += part; });
+        if (total != expected) wrong.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+// Shutdown ordering: a pool destroyed right after a burst of submits must
+// run every queued task before joining (the destructor drains the queue);
+// no task may be dropped and no future left dangling.
+TEST(ThreadPoolStress, DestructorDrainsQueuedTasks) {
+  for (int round = 0; round < 30; ++round) {
+    std::atomic<int> ran{0};
+    {
+      ThreadPool pool(2 + round % 3);
+      for (int i = 0; i < 50; ++i) {
+        // Futures intentionally discarded: the pool, not the caller, owns
+        // completion here.
+        pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+    }  // ~ThreadPool: stop flag + drain + join
+    EXPECT_EQ(ran.load(), 50) << "round " << round;
+  }
+}
+
+// Exceptions crossing the pool boundary while other shards are still
+// running: shard_map must drain every future before rethrowing, so no
+// worker can touch caller-owned state after the call returns.
+TEST(ThreadPoolStress, ShardExceptionsDrainBeforeRethrow) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<int> owned(512, 1);  // caller-owned: must outlive all shards
+    bool threw = false;
+    try {
+      core::shard_map(pool, owned.size(), [&owned, round](core::ShardRange range) {
+        int sum = 0;
+        for (std::size_t i = range.begin; i < range.end; ++i) sum += owned[i];
+        if (range.index == static_cast<std::size_t>(round % 8)) {
+          throw std::runtime_error("shard failure injection");
+        }
+        return sum;
+      });
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw);
+  }
+}
+
+}  // namespace
+}  // namespace htor

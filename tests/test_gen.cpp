@@ -228,7 +228,9 @@ TEST_P(HybridFractionSweep, PlantedShareTracksKnob) {
   // Eligibility filters (non-stub, multi-provider) cap the achievable share;
   // it must grow with the knob and never exceed it by much.
   EXPECT_LE(planted / dual, GetParam() + 0.02);
-  if (GetParam() >= 0.1) EXPECT_GT(planted, 0u);
+  if (GetParam() >= 0.1) {
+    EXPECT_GT(planted, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Fractions, HybridFractionSweep, ::testing::Values(0.0, 0.1, 0.2, 0.3));

@@ -134,7 +134,9 @@ TEST_P(TrieVsBruteForce, Agrees) {
     }
     const auto got = trie.longest_match(probe);
     ASSERT_EQ(got.has_value(), best.has_value());
-    if (best) EXPECT_EQ(got->length(), best->length());
+    if (best) {
+      EXPECT_EQ(got->length(), best->length());
+    }
   }
 }
 

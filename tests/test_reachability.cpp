@@ -13,7 +13,7 @@ namespace {
 //       1 --p2p-- 2
 //      /|          \            (1,2 tier-1s; 3,4 their customers;
 //     3 4           5            5 customer of 2; 6 customer of 4)
-//         \
+//         \            (the 4 -> 6 edge)
 //          6
 struct SmallWorld {
   AsGraph graph;

@@ -467,6 +467,77 @@ TEST(SnapshotQuery, HybridListSelfLoopIsDeduplicated) {
   EXPECT_TRUE(neighbors[0].info.hybrid);
 }
 
+// --------------------------------------------------- error-reason contracts
+//
+// The fuzz harness buckets failures by reason prefix, so the *wording* of
+// the two easiest-to-confuse corruptions is part of the reader's contract:
+// a count field that claims more entries than the file holds must say
+// "overruns", and bytes left over after a structurally complete snapshot
+// must say "trailing garbage" and how many bytes — not the other way
+// round, and never a generic "bad snapshot".
+
+TEST(SnapshotErrorReasons, RelationshipCountOverrunNamesSectionAndCount) {
+  auto bytes = Writer::encode(tiny_snapshot());
+  // Claim 2^64-1 v4 relationship entries; the file obviously has fewer.
+  for (std::size_t i = 0; i < 8; ++i) bytes[kTinyV4CountOffset + i] = 0xff;
+  try {
+    Reader::decode(bytes);
+    FAIL() << "decode accepted an absurd relationship count";
+  } catch (const DecodeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("relationship count"), std::string::npos) << what;
+    EXPECT_NE(what.find("18446744073709551615"), std::string::npos) << what;
+    EXPECT_NE(what.find("overruns the file"), std::string::npos) << what;
+    // Must NOT be misreported as trailing garbage.
+    EXPECT_EQ(what.find("trailing garbage"), std::string::npos) << what;
+  }
+}
+
+TEST(SnapshotErrorReasons, HybridCountOverrunNamesItsOwnSection) {
+  auto bytes = Writer::encode(tiny_snapshot());
+  // The hybrid count sits right after the two maps: 8 bytes before the one
+  // 19-byte hybrid entry and the 4-byte trailer.
+  const std::size_t hybrid_count_offset = kTinySize - 4 - 19 - 8;
+  for (std::size_t i = 0; i < 8; ++i) bytes[hybrid_count_offset + i] = 0xff;
+  try {
+    Reader::decode(bytes);
+    FAIL() << "decode accepted an absurd hybrid count";
+  } catch (const DecodeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("hybrid count"), std::string::npos) << what;
+    EXPECT_NE(what.find("overruns the file"), std::string::npos) << what;
+  }
+}
+
+TEST(SnapshotErrorReasons, TrailingGarbageNamesTheByteCount) {
+  auto bytes = Writer::encode(tiny_snapshot());
+  for (int i = 0; i < 7; ++i) bytes.push_back(0xab);
+  try {
+    Reader::decode(bytes);
+    FAIL() << "decode accepted trailing garbage";
+  } catch (const DecodeError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("trailing garbage after snapshot"), std::string::npos) << what;
+    EXPECT_NE(what.find("(7 bytes)"), std::string::npos) << what;
+    // Must NOT be misreported as a count overrun.
+    EXPECT_EQ(what.find("overruns"), std::string::npos) << what;
+  }
+}
+
+// The boundary case fuzz triage actually hits: a count one too large is an
+// *overrun of structure*, not trailing garbage — the reader runs out of
+// entry bytes (or trips a downstream check), it never reports leftovers.
+TEST(SnapshotErrorReasons, CountOffByOneIsNeverReportedAsTrailingGarbage) {
+  auto bytes = Writer::encode(tiny_snapshot());
+  bytes[kTinyV4CountOffset + 7] = 3;  // tiny snapshot has 2 v4 entries
+  try {
+    Reader::decode(bytes);
+    FAIL() << "decode accepted an off-by-one count";
+  } catch (const DecodeError& e) {
+    EXPECT_EQ(std::string(e.what()).find("trailing garbage"), std::string::npos) << e.what();
+  }
+}
+
 TEST(SnapshotQuery, AgreesWithCensusMaps) {
   const Snapshot& snap = census_snapshot();
   const QueryIndex index(snap);

@@ -408,6 +408,17 @@ int cmd_query(const std::string& snap_path, Asn asn, std::optional<Asn> other, b
 /// object is ever touched from signal context (a handler racing the
 /// daemon's destructor on another thread could otherwise use a dead
 /// pointer); the serve loop forwards the reload flag on its next tick.
+///
+/// Why std::atomic<bool> and not volatile std::sig_atomic_t: [intro.races]
+/// makes a lock-free atomic the only type that is BOTH async-signal-safe
+/// (like sig_atomic_t) and race-free against *other threads* — and these
+/// flags are read by the serve loop thread while the kernel may deliver
+/// the signal on any thread.  sig_atomic_t only covers the
+/// same-thread-interrupted-by-handler case; here it would be a data race.
+/// The guarantee this rests on is lock-freedom, so assert it: a platform
+/// where atomic<bool> takes a lock would deadlock inside a handler.
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "signal handlers require lock-free atomic<bool>");
 std::atomic<bool> g_serve_stop{false};
 std::atomic<bool> g_serve_reload{false};
 
