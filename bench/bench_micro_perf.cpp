@@ -10,8 +10,10 @@
 #include "core/pipeline.hpp"
 #include "core/snapshot_bridge.hpp"
 #include "snapshot/diff.hpp"
+#include "snapshot/query.hpp"
 #include "snapshot/reader.hpp"
 #include "snapshot/writer.hpp"
+#include "util/bytes.hpp"
 #include "gen/internet.hpp"
 #include "mrt/reader.hpp"
 #include "mrt/rib_view.hpp"
@@ -365,6 +367,29 @@ void BM_SnapshotDiff(benchmark::State& state) {
   state.counters["churn"] = static_cast<double>(churn);
 }
 BENCHMARK(BM_SnapshotDiff);
+
+/// Daemon hot-reload cost by on-disk format: QueryIndex::open() is exactly
+/// what reload() runs — read + validate + wrap for a v2 file, decode +
+/// re-encode for a v1 file.  Arg is the file's format version, so the
+/// /1-over-/2 ratio is the win of the flat layout's zero-decode reload.
+void BM_SnapshotMapReload(benchmark::State& state) {
+  const auto version = static_cast<std::uint32_t>(state.range(0));
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("htor_bench_reload_" + std::to_string(::getpid()) + "_v" + std::to_string(version) +
+        ".snap"))
+          .string();
+  const auto bytes = snapshot::Writer::encode_versioned(snapshot_fixture(), version);
+  save_bytes(path, bytes);
+  for (auto _ : state) {
+    auto index = snapshot::QueryIndex::open(path);
+    benchmark::DoNotOptimize(index);
+  }
+  std::filesystem::remove(path);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * bytes.size()));
+  state.counters["format"] = static_cast<double>(version);
+}
+BENCHMARK(BM_SnapshotMapReload)->Arg(2)->Arg(1);
 
 // --- query daemon ------------------------------------------------------------
 

@@ -16,12 +16,19 @@
 //     round-robin with new connections instead of pinning workers (two
 //     lazy clients cannot starve /v1/healthz).  Idle connections are
 //     reaped after `idle_timeout_ms`.
-//   - The serving state (decoded Snapshot + QueryIndex + epoch counter) is
+//   - The serving state (a zero-copy QueryIndex view + epoch counter) is
 //     immutable behind a shared_ptr.  Hot reload — POST /v1/reload or
-//     SIGHUP via request_reload() — decodes the snapshot file from scratch
-//     and atomically swaps the pointer; in-flight requests keep the state
-//     they started with, and a snapshot that fails to decode leaves the old
-//     state serving (the error is reported in the 503 body and /v1/metrics).
+//     SIGHUP via request_reload() — is read-validate-swap: for a v2
+//     snapshot the file bytes are validated in place and wrapped with no
+//     per-entry decode (v1 files fall back to the eager decode path).  The
+//     bytes are *owned*, not a live mmap of the file: the snapshot path can
+//     be truncated or rewritten in place underneath a running daemon (the
+//     torn-file stress tests do exactly that), and owned bytes fail that
+//     race cleanly where a mapping would SIGBUS.  In-flight requests keep
+//     the state they started with — views pin the old image until the last
+//     reader drops — and a snapshot that fails to validate leaves the old
+//     state serving (the error is reported in the 503 body and
+//     /v1/metrics, which also records the reload's duration in µs).
 //
 // Endpoints (all bodies application/json, shapes in server/render.hpp):
 //   GET  /v1/link/<a>/<b>    oriented rel_v4 / rel_v6 / hybrid for one link
@@ -99,14 +106,13 @@ class QueryDaemon {
 
  private:
   /// Immutable serving state; connections pin it with a shared_ptr so a
-  /// reload never invalidates an in-flight request.
+  /// reload never invalidates an in-flight request.  The index is a view
+  /// over a shared snapshot image, so the state carries no decoded maps.
   struct ServingState {
-    snapshot::Snapshot snap;
     snapshot::QueryIndex index;
     std::uint64_t epoch;
 
-    ServingState(snapshot::Snapshot s, std::uint64_t e)
-        : snap(std::move(s)), index(snap), epoch(e) {}
+    ServingState(snapshot::QueryIndex i, std::uint64_t e) : index(std::move(i)), epoch(e) {}
   };
 
   /// Per-connection pump state; lives on the heap across worker yields.
@@ -154,6 +160,7 @@ class QueryDaemon {
   std::atomic<std::uint64_t> parse_failures_{0};
   std::atomic<std::uint64_t> reloads_ok_{0};
   std::atomic<std::uint64_t> reloads_failed_{0};
+  std::atomic<std::uint64_t> last_reload_us_{0};
 };
 
 }  // namespace htor::server

@@ -48,19 +48,21 @@ std::string error_json(std::string_view message) {
   return json.str() + "\n";
 }
 
-std::string summary_json(const snapshot::Snapshot& snap, const snapshot::QueryIndex& index) {
+std::string summary_json(const snapshot::QueryIndex& index) {
   JsonWriter json;
   json.begin_object();
-  json.key("source").value(snap.header.source);
-  json.key("timestamp").value(snap.header.timestamp);
-  json.key("format_version").value(snap.header.version);
+  json.key("source").value(index.source());
+  json.key("timestamp").value(index.timestamp());
+  json.key("format_version").value(index.format_version());
+  json.key("snapshot_bytes").value(index.snapshot_bytes());
 
+  const snapshot::DatasetStats dataset = index.dataset();
   json.key("dataset").begin_object();
-  json.key("v4_paths").value(snap.dataset.v4_paths);
-  json.key("v6_paths").value(snap.dataset.v6_paths);
-  json.key("v4_links").value(snap.dataset.v4_links);
-  json.key("v6_links").value(snap.dataset.v6_links);
-  json.key("dual_links").value(snap.dataset.dual_links);
+  json.key("v4_paths").value(dataset.v4_paths);
+  json.key("v6_paths").value(dataset.v6_paths);
+  json.key("v4_links").value(dataset.v4_links);
+  json.key("v6_links").value(dataset.v6_links);
+  json.key("dual_links").value(dataset.dual_links);
   json.end_object();
 
   const auto coverage = [&](const char* name, const snapshot::CoverageCounters& c) {
@@ -69,9 +71,9 @@ std::string summary_json(const snapshot::Snapshot& snap, const snapshot::QueryIn
     json.key("covered").value(c.covered);
     json.end_object();
   };
-  coverage("coverage_v4", snap.coverage_v4);
-  coverage("coverage_v6", snap.coverage_v6);
-  coverage("coverage_dual", snap.coverage_dual);
+  coverage("coverage_v4", index.coverage_v4());
+  coverage("coverage_v6", index.coverage_v6());
+  coverage("coverage_dual", index.coverage_dual());
 
   const auto valleys = [&](const char* name, const snapshot::ValleyCounters& v) {
     json.key(name).begin_object();
@@ -83,15 +85,16 @@ std::string summary_json(const snapshot::Snapshot& snap, const snapshot::QueryIn
     json.key("necessary_valleys").value(v.necessary_valleys);
     json.end_object();
   };
-  valleys("valleys_v4", snap.valleys_v4);
-  valleys("valleys_v6", snap.valleys_v6);
+  valleys("valleys_v4", index.valleys_v4());
+  valleys("valleys_v6", index.valleys_v6());
 
+  const snapshot::HybridCounters hybrid = index.hybrid_counters();
   json.key("hybrids").begin_object();
-  json.key("dual_links_observed").value(snap.hybrid_counters.dual_links_observed);
-  json.key("dual_links_both_known").value(snap.hybrid_counters.dual_links_both_known);
-  json.key("v6_paths_total").value(snap.hybrid_counters.v6_paths_total);
-  json.key("v6_paths_with_hybrid").value(snap.hybrid_counters.v6_paths_with_hybrid);
-  json.key("count").value(static_cast<std::uint64_t>(snap.hybrids.size()));
+  json.key("dual_links_observed").value(hybrid.dual_links_observed);
+  json.key("dual_links_both_known").value(hybrid.dual_links_both_known);
+  json.key("v6_paths_total").value(hybrid.v6_paths_total);
+  json.key("v6_paths_with_hybrid").value(hybrid.v6_paths_with_hybrid);
+  json.key("count").value(static_cast<std::uint64_t>(index.hybrid_entry_count()));
   json.end_object();
 
   json.key("index").begin_object();

@@ -30,7 +30,7 @@ std::string error_json(std::string_view message);
 /// The durable counters of the snapshot a daemon is serving: header,
 /// dataset, per-family coverage, valley and hybrid counters, plus the index
 /// cardinalities.  Everything needed to sanity-check a serving instance
-/// without re-reading the snapshot file.
-std::string summary_json(const snapshot::Snapshot& snap, const snapshot::QueryIndex& index);
+/// without re-reading the snapshot file — the index view carries all of it.
+std::string summary_json(const snapshot::QueryIndex& index);
 
 }  // namespace htor::server

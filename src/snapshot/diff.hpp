@@ -34,6 +34,8 @@ struct FamilyDiff {
   std::uint64_t churn() const {
     return appeared.size() + vanished.size() + flips.size();
   }
+
+  friend bool operator==(const FamilyDiff&, const FamilyDiff&) = default;
 };
 
 struct Diff {
@@ -46,6 +48,8 @@ struct Diff {
   std::uint64_t total_churn() const {
     return v4.churn() + v6.churn() + hybrids_formed.size() + hybrids_resolved.size();
   }
+
+  friend bool operator==(const Diff&, const Diff&) = default;
 };
 
 /// Churn from map `a` to map `b` (one address family).

@@ -1,50 +1,51 @@
 #include "snapshot/query.hpp"
 
-#include <algorithm>
+#include <utility>
+
+#include "snapshot/reader.hpp"
+#include "snapshot/writer.hpp"
+#include "util/bytes.hpp"
+#include "util/mmap_file.hpp"
 
 namespace htor::snapshot {
 
-QueryIndex::QueryIndex(const Snapshot& snap) {
-  auto add_family = [&](const RelationshipMap& map, bool v4) {
-    map.for_each([&](const LinkKey& key, Relationship rel) {
-      auto [it, inserted] = links_.try_emplace(key);
-      (v4 ? it->second.rel_v4 : it->second.rel_v6) = rel;
-      if (inserted) {
-        adjacency_[key.first].push_back(key.second);
-        // A self-loop (a hand-built snapshot can hold one) is one neighbor
-        // entry, not two.
-        if (key.second != key.first) adjacency_[key.second].push_back(key.first);
-      }
-    });
-  };
-  add_family(snap.rels_v4, true);
-  add_family(snap.rels_v6, false);
+QueryIndex::QueryIndex(std::shared_ptr<const MappedSnapshot> image,
+                       std::uint32_t source_version, std::uint64_t file_bytes)
+    : image_(std::move(image)), source_version_(source_version), file_bytes_(file_bytes) {}
 
-  for (const auto& h : snap.hybrids) {
-    // Hybrid links come from the maps by construction, but a hand-built
-    // snapshot may list extras; index them too rather than dropping them.
-    auto [it, inserted] = links_.try_emplace(h.link);
-    if (inserted) {
-      it->second.rel_v4 = h.rel_v4;
-      it->second.rel_v6 = h.rel_v6;
-      adjacency_[h.link.first].push_back(h.link.second);
-      if (h.link.second != h.link.first) adjacency_[h.link.second].push_back(h.link.first);
-    }
-    if (!it->second.hybrid) {
-      it->second.hybrid = true;
-      ++hybrid_count_;
-    }
-  }
+QueryIndex::QueryIndex(const Snapshot& snap)
+    : QueryIndex(MappedSnapshot::from_bytes(Writer::encode(snap)), snap.header.version, 0) {
+  file_bytes_ = image_->byte_size();
+}
 
-  for (auto& [asn, neighbors] : adjacency_) {
-    std::sort(neighbors.begin(), neighbors.end());
+QueryIndex QueryIndex::open(const std::string& path) {
+  std::vector<std::uint8_t> bytes = load_bytes(path);
+  const std::uint64_t file_bytes = bytes.size();
+  const std::uint32_t version = Reader::probe(bytes).version;
+  if (version == 2) {
+    return {MappedSnapshot::from_bytes(std::move(bytes)), version, file_bytes};
   }
+  // v1: eager decode, then re-encode as an in-memory v2 image.
+  const Snapshot snap = Reader::decode(bytes);
+  return {MappedSnapshot::from_bytes(Writer::encode(snap)), version, file_bytes};
+}
+
+QueryIndex QueryIndex::open_mapped(const std::string& path) {
+  MmapFile file(path);
+  const std::uint64_t file_bytes = file.size();
+  const std::uint32_t version = Reader::probe(file.data()).version;
+  if (version == 2) {
+    return {MappedSnapshot::from_map(std::move(file)), version, file_bytes};
+  }
+  const Snapshot snap = Reader::decode(file.data());
+  return {MappedSnapshot::from_bytes(Writer::encode(snap)), version, file_bytes};
 }
 
 std::optional<QueryIndex::LinkInfo> QueryIndex::lookup(Asn a, Asn b) const {
-  const auto it = links_.find(LinkKey(a, b));
-  if (it == links_.end()) return std::nullopt;
-  LinkInfo info = it->second;
+  const auto index = view().find_link(a, b);
+  if (!index) return std::nullopt;
+  const V2View::LinkRow row = view().link_at(*index);
+  LinkInfo info{row.rel_v4, row.rel_v6, row.hybrid};
   if (a > b) {
     // Stored orientation is first -> second; flip for the caller's view.
     info.rel_v4 = reverse(info.rel_v4);
@@ -55,11 +56,21 @@ std::optional<QueryIndex::LinkInfo> QueryIndex::lookup(Asn a, Asn b) const {
 
 std::vector<QueryIndex::Neighbor> QueryIndex::neighbors(Asn asn) const {
   std::vector<Neighbor> out;
-  const auto it = adjacency_.find(asn);
-  if (it == adjacency_.end()) return out;
-  out.reserve(it->second.size());
-  for (Asn other : it->second) {
-    out.push_back({other, *lookup(asn, other)});
+  const auto id = view().find_asn(asn);
+  if (!id) return out;
+  const auto [begin, end] = view().adj_range(*id);
+  out.reserve(end - begin);
+  for (std::uint64_t i = begin; i < end; ++i) {
+    const V2View::AdjEntry entry = view().adj_at(i);
+    const V2View::LinkRow row = view().link_at(entry.link_index);
+    Neighbor n;
+    n.asn = view().asn_at(entry.neighbor_id);
+    n.info = {row.rel_v4, row.rel_v6, row.hybrid};
+    if (asn == row.second) {
+      n.info.rel_v4 = reverse(n.info.rel_v4);
+      n.info.rel_v6 = reverse(n.info.rel_v6);
+    }
+    out.push_back(n);
   }
   return out;
 }

@@ -1,22 +1,48 @@
-// In-memory query index over one loaded snapshot: AS-pair lookups
-// (rel_v4, rel_v6, hybrid?) and AS neighbor lists, built once per snapshot
-// so repeated queries are O(1) / O(degree).
+// Query index over one snapshot: AS-pair lookups (rel_v4, rel_v6, hybrid?)
+// and AS neighbor lists.
+//
+// Since format v2 this is a zero-copy *view* over a MappedSnapshot, not a
+// rebuilt in-RAM structure: `lookup` is a branchless binary search over the
+// file's sorted link table, `neighbors` walks a CSR slice, and constructing
+// the index from a v2 file is map-validate-wrap with no per-entry decode.
+// The view holds shared ownership of the image, so copies stay valid after
+// the file on disk changes and after a daemon hot-reload swap; the image is
+// unmapped/freed when the last view drops.
+//
+// v1 inputs transparently fall back to the eager path: decode, re-encode as
+// an in-memory v2 image, wrap.  Answers are identical either way.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
+#include "snapshot/mapped.hpp"
 #include "snapshot/snapshot.hpp"
 
 namespace htor::snapshot {
 
 class QueryIndex {
  public:
-  /// Build the index over the union of both families' links plus the hybrid
-  /// list.  The snapshot itself is not retained.
+  /// Index an in-memory snapshot by encoding it to a v2 image (the snapshot
+  /// itself is not retained).  Throws InvalidArgument when the snapshot is
+  /// not encodable — the same rules as Writer::encode.
   explicit QueryIndex(const Snapshot& snap);
+
+  /// Open a snapshot file into an *owned* image: read, validate, wrap (v2)
+  /// or decode eagerly and re-encode (v1).  This is the daemon's reload
+  /// path — owned bytes survive the file being truncated or rewritten in
+  /// place underneath a running server, which an mmap would not (SIGBUS).
+  static QueryIndex open(const std::string& path);
+
+  /// Open a v2 snapshot file zero-copy via mmap (v1 falls back to the eager
+  /// path).  For short-lived CLI lookups: the kernel pages in only what the
+  /// binary search touches.  The mapping pins the inode, so views keep
+  /// working after the path is rename()-replaced — but not after an
+  /// in-place truncation, which is why the daemon uses open() instead.
+  static QueryIndex open_mapped(const std::string& path);
 
   /// One link as seen from `a` toward `b`: relationships are oriented a -> b.
   struct LinkInfo {
@@ -36,20 +62,49 @@ class QueryIndex {
   };
 
   /// All recorded neighbors of `asn`, ascending by neighbor ASN; empty when
-  /// the AS appears in neither family's map.
+  /// the AS appears in neither family's map nor the hybrid list.
   std::vector<Neighbor> neighbors(Asn asn) const;
 
-  bool contains(Asn asn) const { return adjacency_.count(asn) != 0; }
+  bool contains(Asn asn) const { return view().find_asn(asn).has_value(); }
 
-  std::size_t link_count() const { return links_.size(); }
-  std::size_t as_count() const { return adjacency_.size(); }
-  std::size_t hybrid_count() const { return hybrid_count_; }
+  std::size_t link_count() const { return view().link_count; }
+  std::size_t as_count() const { return view().asn_count; }
+  /// Distinct links flagged hybrid (the hybrid table may list duplicates).
+  std::size_t hybrid_count() const { return view().hybrid_link_count; }
+  /// Rows in the hybrid table itself, duplicates included.
+  std::size_t hybrid_entry_count() const { return view().hybrid_count; }
+
+  // -- snapshot metadata, straight from the image ------------------------
+
+  /// Format version of the *origin*: the file this index was opened from
+  /// (1 for an eagerly upgraded v1 file) or the encoded snapshot's version.
+  std::uint32_t format_version() const { return source_version_; }
+  /// Byte size of the origin snapshot (file size, or encoded size).
+  std::uint64_t snapshot_bytes() const { return file_bytes_; }
+  /// Byte size of the v2 image answering queries.
+  std::uint64_t mapped_bytes() const { return image_->byte_size(); }
+  /// True when the image is an mmap rather than owned memory.
+  bool is_mapped() const { return image_->is_mapped(); }
+
+  std::string source() const { return view().source(); }
+  std::uint64_t timestamp() const { return view().timestamp; }
+  DatasetStats dataset() const { return view().dataset(); }
+  CoverageCounters coverage_v4() const { return view().coverage(0); }
+  CoverageCounters coverage_v6() const { return view().coverage(1); }
+  CoverageCounters coverage_dual() const { return view().coverage(2); }
+  ValleyCounters valleys_v4() const { return view().valleys(0); }
+  ValleyCounters valleys_v6() const { return view().valleys(1); }
+  HybridCounters hybrid_counters() const { return view().hybrid_counters(); }
 
  private:
-  // Canonical orientation: key.first -> key.second.
-  std::unordered_map<LinkKey, LinkInfo, LinkKeyHash> links_;
-  std::unordered_map<Asn, std::vector<Asn>> adjacency_;
-  std::size_t hybrid_count_ = 0;
+  QueryIndex(std::shared_ptr<const MappedSnapshot> image, std::uint32_t source_version,
+             std::uint64_t file_bytes);
+
+  const V2View& view() const { return image_->view(); }
+
+  std::shared_ptr<const MappedSnapshot> image_;
+  std::uint32_t source_version_ = kFormatVersion;
+  std::uint64_t file_bytes_ = 0;
 };
 
 }  // namespace htor::snapshot

@@ -1,5 +1,6 @@
 #include "snapshot/reader.hpp"
 
+#include "snapshot/layout.hpp"
 #include "util/bytes.hpp"
 
 namespace htor::snapshot {
@@ -95,9 +96,82 @@ RelationshipMap decode_map(ByteReader& r) {
   return map;
 }
 
+// Read and check magic + version; returns the version for dispatch.
+std::uint32_t decode_version(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  const std::uint32_t magic = r.u32();
+  if (magic != kMagic) {
+    throw DecodeError("not a hybridtor snapshot (bad magic)");
+  }
+  const std::uint32_t version = r.u32();
+  if (version == 0 || version > kFormatVersion) {
+    throw DecodeError("unsupported snapshot format version " + std::to_string(version) +
+                      " (this build reads versions 1.." + std::to_string(kFormatVersion) + ")");
+  }
+  return version;
+}
+
+// v2 decode: validate the whole flat image, then materialize the Snapshot —
+// the maps from the link rows' presence flags, the hybrid list verbatim.
+Snapshot decode_v2(std::span<const std::uint8_t> data) {
+  const V2View v = validate_v2(data);
+  Snapshot snap;
+  snap.header.version = 2;
+  snap.header.timestamp = v.timestamp;
+  snap.header.source = v.source();
+  snap.dataset = v.dataset();
+  snap.coverage_v4 = v.coverage(0);
+  snap.coverage_v6 = v.coverage(1);
+  snap.coverage_dual = v.coverage(2);
+  snap.valleys_v4 = v.valleys(0);
+  snap.valleys_v6 = v.valleys(1);
+  snap.hybrid_counters = v.hybrid_counters();
+  for (std::uint64_t i = 0; i < v.link_count; ++i) {
+    const V2View::LinkRow row = v.link_at(i);
+    if (row.in_v4) snap.rels_v4.set(row.first, row.second, row.rel_v4);
+    if (row.in_v6) snap.rels_v6.set(row.first, row.second, row.rel_v6);
+  }
+  snap.hybrids.reserve(v.hybrid_count);
+  for (std::uint64_t i = 0; i < v.hybrid_count; ++i) {
+    snap.hybrids.push_back(v.hybrid_at(i));
+  }
+  return snap;
+}
+
+// Header-only v2 probe: the source string lives at the tail of a v2 file,
+// so the probe checks just enough of the layout to reach it safely.
+Header probe_v2(std::span<const std::uint8_t> data) {
+  V2View v;
+  v.bytes = data;
+  if (data.size() < kV2HeaderBytes) {
+    throw DecodeError("snapshot v2 header truncated (need " + std::to_string(kV2HeaderBytes) +
+                      " bytes, have " + std::to_string(data.size()) + ")");
+  }
+  const std::uint64_t declared = v.u64_at(kV2OffFileSize);
+  if (declared != data.size()) {
+    throw DecodeError("snapshot v2 size field " + std::to_string(declared) +
+                      " does not match the file's " + std::to_string(data.size()) + " bytes");
+  }
+  const std::uint64_t source_len = v.u32_at(kV2OffSourceLen);
+  const std::uint64_t off_source = v.u64_at(kV2OffSectionOffsets + 40);
+  if (off_source > data.size() || source_len + 4 > data.size() - off_source ||
+      off_source + source_len + 4 != data.size()) {
+    throw DecodeError("snapshot v2 section offset corrupt (source at " +
+                      std::to_string(off_source) + ")");
+  }
+  Header header;
+  header.version = 2;
+  header.timestamp = v.u64_at(kV2OffTimestamp);
+  v.source_len = static_cast<std::uint32_t>(source_len);
+  v.off_source = off_source;
+  header.source = v.source();
+  return header;
+}
+
 }  // namespace
 
 Snapshot Reader::decode(std::span<const std::uint8_t> data) {
+  if (decode_version(data) == 2) return decode_v2(data);
   ByteReader r(data);
   Snapshot snap;
   snap.header = decode_header(r);
@@ -151,6 +225,7 @@ Snapshot Reader::decode(std::span<const std::uint8_t> data) {
 Snapshot Reader::read_file(const std::string& path) { return decode(load_bytes(path)); }
 
 Header Reader::probe(std::span<const std::uint8_t> data) {
+  if (decode_version(data) == 2) return probe_v2(data);
   ByteReader r(data);
   return decode_header(r);
 }

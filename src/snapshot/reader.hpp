@@ -15,8 +15,11 @@ namespace htor::snapshot {
 
 class Reader {
  public:
-  /// Decode one snapshot from `data`.  The buffer must contain exactly one
-  /// snapshot; trailing bytes are an error.
+  /// Decode one snapshot from `data`, dispatching on the format version:
+  /// v1 is the legacy sequential encoding, v2 the flat layout (validated as
+  /// a whole, then materialized).  The buffer must contain exactly one
+  /// snapshot; trailing bytes are an error.  The decoded header keeps the
+  /// file's version, so callers can re-encode like-for-like.
   static Snapshot decode(std::span<const std::uint8_t> data);
 
   /// Load and decode `path`.  Throws Error when the file cannot be read and

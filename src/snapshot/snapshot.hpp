@@ -26,7 +26,9 @@ inline constexpr std::uint32_t kTrailer = 0x454e4453u;
 /// Current format version.  Readers accept versions in [1, kFormatVersion]
 /// and reject anything newer with a reasoned DecodeError, so old binaries
 /// fail cleanly on files from the future instead of misreading them.
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v1 is the original sequential encoding; v2 (layout.hpp) is the
+/// mmap-able flat layout the writer emits by default.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 struct Header {
   std::uint32_t version = kFormatVersion;

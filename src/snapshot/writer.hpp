@@ -2,6 +2,10 @@
 // fully canonical: relationship maps are written in sorted LinkKey order, so
 // the same Snapshot always produces byte-identical output — file-level
 // equality is snapshot equality.
+//
+// encode() emits format v2, the mmap-able flat layout (layout.hpp);
+// encode_v1() keeps the original sequential encoding for compatibility
+// tests and mixed-version corpora.  Both are canonical for their version.
 #pragma once
 
 #include <cstdint>
@@ -14,14 +18,25 @@ namespace htor::snapshot {
 
 class Writer {
  public:
-  /// Serialize `snap` to its canonical byte form.  Throws InvalidArgument
+  /// Serialize `snap` to its canonical v2 byte form.  Throws InvalidArgument
   /// when the snapshot is not encodable (source path over 64 KiB, a map
   /// entry with first == second, or a relationship/class value outside the
   /// format's range).
   static std::vector<std::uint8_t> encode(const Snapshot& snap);
 
-  /// encode() straight to a file.  Throws Error when the file cannot be
-  /// created or fully written.
+  /// Serialize `snap` to the legacy v1 sequential encoding.  Same
+  /// encodability rules as encode().
+  static std::vector<std::uint8_t> encode_v1(const Snapshot& snap);
+
+  /// encode() or encode_v1() by `version`; throws InvalidArgument for any
+  /// other version.  The re-encode half of the fuzz byte-identity oracle.
+  static std::vector<std::uint8_t> encode_versioned(const Snapshot& snap,
+                                                    std::uint32_t version);
+
+  /// encode() to a temporary file in the target directory, then rename it
+  /// over `path` — readers (and a serving daemon mmap) never observe a
+  /// half-written snapshot.  Throws Error when the file cannot be created
+  /// or fully written.
   static void write_file(const Snapshot& snap, const std::string& path);
 };
 

@@ -1,0 +1,52 @@
+// Read-only memory-mapped file with RAII lifetime: the mapping lives exactly
+// as long as the MmapFile object, so a view handed out as a span must not
+// outlive it (snapshot::MappedSnapshot wraps this in a shared_ptr for that
+// reason).  The file descriptor is closed immediately after mapping — on
+// POSIX the mapping keeps the underlying inode alive, so a mapped file that
+// is later rename()d over or unlink()ed keeps serving its original bytes.
+//
+// Raw-pointer handling is confined to this wrapper (and the checked
+// accessors in snapshot/layout): everything above it sees only a
+// std::span<const std::uint8_t>.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace htor {
+
+class MmapFile {
+ public:
+  /// An empty, unmapped instance (data() is an empty span).
+  MmapFile() = default;
+
+  /// Map `path` read-only.  Throws Error when the file cannot be opened,
+  /// stat'ed, or mapped.  A zero-length file maps to an empty span without
+  /// calling mmap (POSIX rejects zero-length mappings).
+  explicit MmapFile(const std::string& path);
+
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// The mapped bytes; valid while this object lives.
+  std::span<const std::uint8_t> data() const {
+    return {static_cast<const std::uint8_t*>(addr_), size_};
+  }
+
+  std::size_t size() const { return size_; }
+  bool mapped() const { return addr_ != nullptr; }
+
+ private:
+  void unmap() noexcept;
+
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace htor

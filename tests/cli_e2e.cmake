@@ -240,6 +240,32 @@ if(at EQUAL -1)
   message(FATAL_ERROR "neighbor query output missing the summary line:\n${query_out}")
 endif()
 
+# snapshot-upgrade re-encodes in the current format; on an already-v2 input
+# it is the identity (the encoding is canonical), and the upgraded file
+# answers queries byte-identically.
+set(SNAP_UP "${WORK_DIR}/a_upgraded.snap")
+execute_process(COMMAND "${HYBRIDTOR}" snapshot-upgrade "${SNAP_A}" "${SNAP_UP}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "snapshot-upgrade failed (rc=${rc}): ${err}")
+endif()
+string(FIND "${out}" "format v2" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "snapshot-upgrade did not report the v2 format:\n${out}")
+endif()
+execute_process(COMMAND "${CMAKE_COMMAND}" -E compare_files "${SNAP_A}" "${SNAP_UP}"
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "upgrading a v2 snapshot changed its bytes")
+endif()
+execute_process(COMMAND "${HYBRIDTOR}" query --json "${SNAP_UP}" "${query_as}" "${query_bs}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE up_out ERROR_VARIABLE err)
+execute_process(COMMAND "${HYBRIDTOR}" query --json "${SNAP_A}" "${query_as}" "${query_bs}"
+                RESULT_VARIABLE rc2 OUTPUT_VARIABLE a_out ERROR_VARIABLE err2)
+if(NOT rc EQUAL 0 OR NOT rc2 EQUAL 0 OR NOT up_out STREQUAL a_out)
+  message(FATAL_ERROR "query --json differs between original and upgraded snapshot")
+endif()
+
 # Truncated snapshots must fail cleanly, with no partial diff/query output.
 if(SH_PROGRAM)
   set(SNAP_TRUNC "${WORK_DIR}/a_truncated.snap")

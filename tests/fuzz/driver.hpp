@@ -131,12 +131,21 @@ inline std::vector<std::vector<std::uint8_t>> load_corpus(const std::string& dir
   return corpus;
 }
 
+/// No-op default for run_target's extra mutation pass.
+inline void no_extra_mutation(std::vector<std::uint8_t>&, Rng&) {}
+
 /// Standard fuzz-target main loop.  `target` maps mutated bytes to an
 /// Outcome and is expected to let only the contract exceptions escape as
 /// Rejected; the harness catches everything else and fails the run.
 /// `classify` failures by reason prefix so triage can bucket them.
-template <typename Target>
-int run_target(const char* name, int argc, char** argv, Target target) {
+///
+/// `extra` is a format-aware second mutation pass applied after the generic
+/// mutator — targets use it to aim at structure the blind strategies almost
+/// never hit (e.g. the v2 snapshot header's offset block).  It gets its own
+/// deterministic Rng derived from the run seed, so adding or changing a
+/// hook never perturbs the generic mutation stream.
+template <typename Target, typename Extra>
+int run_target(const char* name, int argc, char** argv, Target target, Extra extra) {
   if (argc < 2) {
     std::cerr << "usage: " << name << " <corpus_dir> [iterations] [seed]\n";
     return 2;
@@ -155,6 +164,7 @@ int run_target(const char* name, int argc, char** argv, Target target) {
   }
 
   Mutator mutator(seed);
+  Rng extra_rng(seed * 0x9e3779b97f4a7c15ull + 1);
   std::size_t parsed = 0;
   std::size_t rejected = 0;
   std::map<std::string, std::size_t> reasons;  // first words of each error
@@ -176,7 +186,8 @@ int run_target(const char* name, int argc, char** argv, Target target) {
   }
 
   for (std::size_t i = 0; i < iterations; ++i) {
-    const auto input = mutator.mutate(corpus);
+    auto input = mutator.mutate(corpus);
+    extra(input, extra_rng);
     try {
       switch (target(input)) {
         case Outcome::Parsed: ++parsed; break;
@@ -207,6 +218,11 @@ int run_target(const char* name, int argc, char** argv, Target target) {
     std::cout << "  " << count << "x " << reason << "\n";
   }
   return 0;
+}
+
+template <typename Target>
+int run_target(const char* name, int argc, char** argv, Target target) {
+  return run_target(name, argc, argv, target, no_extra_mutation);
 }
 
 }  // namespace htor::fuzz

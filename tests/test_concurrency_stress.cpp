@@ -24,6 +24,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "core/hybrid.hpp"
 #include "core/parallel.hpp"
 #include "server/daemon.hpp"
+#include "snapshot/query.hpp"
 #include "snapshot/snapshot.hpp"
 #include "snapshot/writer.hpp"
 #include "util/thread_pool.hpp"
@@ -178,9 +180,83 @@ TEST_F(ConcurrencyStress, ConcurrentReloadersSerializeCleanly) {
   EXPECT_EQ(daemon.epoch(), 1u + kThreads * kReloadsPerThread);
 }
 
+// ------------------------------------------------- mapped-view lifetimes
+
+// Views over a mapped v2 image must outlive both the serving-pointer swap
+// (the daemon's reload pattern) and the rename-replacement of the file they
+// were mapped from: the mmap pins the old inode until the last view drops,
+// and the unmap then happens on whichever reader thread dropped last.  The
+// readers stagger their drops so TSan gets to inspect unmap-after-last-
+// reader racing fresh maps of the replaced file.
+TEST_F(ConcurrencyStress, MappedViewsOutliveServingSwapAndFileReplacement) {
+  auto initial = std::make_shared<const snapshot::QueryIndex>(
+      snapshot::QueryIndex::open_mapped(snap_path_));
+  ASSERT_TRUE(initial->is_mapped());
+
+  std::mutex serving_mutex;
+  std::shared_ptr<const snapshot::QueryIndex> serving = initial;
+  auto current = [&serving_mutex, &serving] {
+    std::lock_guard<std::mutex> lock(serving_mutex);
+    return serving;
+  };
+
+  constexpr int kReaderThreads = 4;
+  constexpr int kIterations = 300;
+  std::atomic<bool> go{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaderThreads);
+  for (int t = 0; t < kReaderThreads; ++t) {
+    // `old_view` is copied here, before the spawn, so the main thread's
+    // later initial.reset() touches a different shared_ptr object.
+    readers.emplace_back([&, t, old_view = initial]() mutable {
+      const int drop_at = kIterations / 2 + t * 29;
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kIterations; ++i) {
+        if (old_view) {
+          // The old view keeps answering from the snapshot it was opened
+          // on, no matter what happened to the path since.
+          const auto link = old_view->lookup(1, 2);
+          if (old_view->timestamp() != 1700000000u || !link || !link->hybrid) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        if (i == drop_at) old_view.reset();  // staggered unmap candidates
+        const auto now = current();
+        const auto link = now->lookup(1, 2);
+        if (!link || now->link_count() == 0) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::thread swapper([&] {
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    for (int i = 0; i < 40; ++i) {
+      swap_snapshot_file(snap_path_, make_snapshot(i % 2 == 1));
+      auto next = std::make_shared<const snapshot::QueryIndex>(
+          snapshot::QueryIndex::open_mapped(snap_path_));
+      std::lock_guard<std::mutex> lock(serving_mutex);
+      serving = std::move(next);
+    }
+  });
+
+  initial.reset();  // only reader threads keep the original image alive now
+  go.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+  swapper.join();
+
+  EXPECT_EQ(failures.load(), 0);
+}
+
 // A reload that races a writer mid-rewrite of the snapshot file must either
 // succeed on a complete file or fail cleanly and keep the old state — never
-// crash, never serve a half-decoded snapshot.
+// crash, never serve a half-decoded snapshot.  The writer tears v2 bytes
+// (Writer::encode emits v2), so this is the torn-flat-layout case: the
+// daemon's owned-bytes reload must validate the whole image before the swap
+// and never expose a partial view.
 TEST_F(ConcurrencyStress, TornSnapshotFileNeverServesPartially) {
   DaemonConfig config;
   config.jobs = 2;

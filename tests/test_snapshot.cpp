@@ -54,23 +54,37 @@ Snapshot tiny_snapshot() {
   return snap;
 }
 
-// Format-v1 offsets into the tiny snapshot's encoding (8-byte source path):
-// header 26, dataset 40, coverage 48, valleys 96, hybrid counters 32, then
-// the v4 map (count @242, entries of 9 bytes from 250), the v6 map
+// Format-v1 offsets into the tiny snapshot's v1 encoding (8-byte source
+// path): header 26, dataset 40, coverage 48, valleys 96, hybrid counters 32,
+// then the v4 map (count @242, entries of 9 bytes from 250), the v6 map
 // (@268/276), the hybrid list (count @294, one 19-byte entry @302), and the
-// trailer @321.  kTinySize pins the whole layout; a failure here means the
-// format changed and kFormatVersion must be bumped.
+// trailer @321.  kTinyV1Size pins the whole legacy layout; the reader must
+// keep accepting it forever.
 constexpr std::size_t kTinyV4CountOffset = 242;
 constexpr std::size_t kTinyV4FirstEntryOffset = 250;
 constexpr std::size_t kTinyV4FirstRelOffset = 258;
 constexpr std::size_t kTinyV4SecondEntryOffset = 259;
 constexpr std::size_t kTinyHybridClsOffset = 312;
-constexpr std::size_t kTinySize = 325;
+constexpr std::size_t kTinyV1Size = 325;
+
+// Format-v2 offsets into the same tiny snapshot (3 ASes, 2 links, 1 hybrid,
+// 8-byte source): 312-byte header, ASN table @312 (3 x u32), pad, adjacency
+// index @328 (4 x u64: 0,1,3,4), adjacency entries @360 (4 x 8), link rows
+// @392 (2 x 12), hybrid row @416 (1 x 20), pad, source @440, trailer @448.
+// kTinyV2Size pins the mmap-able layout; a failure here means the layout
+// changed and kFormatVersion must be bumped again.
+constexpr std::size_t kTinyV2LinkCountOffset = 32;   ///< u64 in the header
+constexpr std::size_t kTinyV2FirstLinkOffset = 392;  ///< row 0: (1,2)
+constexpr std::size_t kTinyV2FirstRelOffset = 400;   ///< row 0 rel_v4 byte
+constexpr std::size_t kTinyV2FlagsOffset = 402;      ///< row 0 flags byte
+constexpr std::size_t kTinyV2SecondLinkOffset = 404; ///< row 1: (2,3)
+constexpr std::size_t kTinyV2HybridClsOffset = 426;  ///< hybrid row class byte
+constexpr std::size_t kTinyV2Size = 452;
 
 TEST(SnapshotRoundTrip, TinyLossless) {
   const Snapshot original = tiny_snapshot();
   const auto bytes = Writer::encode(original);
-  EXPECT_EQ(bytes.size(), kTinySize);
+  EXPECT_EQ(bytes.size(), kTinyV2Size);
 
   const Snapshot decoded = Reader::decode(bytes);
   EXPECT_TRUE(equal(original, decoded));
@@ -84,6 +98,25 @@ TEST(SnapshotRoundTrip, TinyLossless) {
 
   // Re-encoding the decoded snapshot reproduces the bytes exactly.
   EXPECT_EQ(Writer::encode(decoded), bytes);
+}
+
+// The legacy v1 encoding stays readable and losslessly equivalent: a v1
+// file decodes to the same snapshot, keeps its own version in the header,
+// and re-encodes (as v1) to the same bytes.
+TEST(SnapshotRoundTrip, TinyV1StillReadsLossless) {
+  const Snapshot original = tiny_snapshot();
+  const auto bytes = Writer::encode_v1(original);
+  EXPECT_EQ(bytes.size(), kTinyV1Size);
+
+  const Snapshot decoded = Reader::decode(bytes);
+  Snapshot expect = original;
+  expect.header.version = 1;  // the header keeps the file's actual version
+  EXPECT_TRUE(equal(expect, decoded));
+  EXPECT_EQ(decoded.header.source, "tiny.mrt");
+  EXPECT_EQ(Writer::encode_v1(decoded), bytes);
+  // Upgrading is pure re-encoding: the v2 bytes of the decoded v1 snapshot
+  // match the v2 bytes of the original exactly.
+  EXPECT_EQ(Writer::encode(decoded), Writer::encode(original));
 }
 
 TEST(SnapshotRoundTrip, CensusLossless) {
@@ -158,9 +191,17 @@ TEST(SnapshotFile, RoundTripAndMissingFile) {
 
 // The acceptance criterion verbatim: EVERY truncated prefix of a valid
 // snapshot fails with DecodeError — no byte boundary yields a partial
-// snapshot.
+// snapshot.  Both format versions get the full sweep.
 TEST(SnapshotRobustness, TruncationSweepEveryByte) {
   const auto bytes = Writer::encode(tiny_snapshot());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const std::span<const std::uint8_t> cut(bytes.data(), len);
+    EXPECT_THROW(Reader::decode(cut), DecodeError) << "cut at " << len;
+  }
+}
+
+TEST(SnapshotRobustness, TruncationSweepEveryByteV1) {
+  const auto bytes = Writer::encode_v1(tiny_snapshot());
   for (std::size_t len = 0; len < bytes.size(); ++len) {
     const std::span<const std::uint8_t> cut(bytes.data(), len);
     EXPECT_THROW(Reader::decode(cut), DecodeError) << "cut at " << len;
@@ -213,43 +254,64 @@ TEST(SnapshotRobustness, TrailingGarbageThrows) {
 }
 
 TEST(SnapshotRobustness, OutOfRangeRelationshipThrows) {
-  auto bytes = Writer::encode(tiny_snapshot());
+  auto bytes = Writer::encode_v1(tiny_snapshot());
   ASSERT_EQ(bytes[kTinyV4FirstRelOffset], static_cast<std::uint8_t>(Relationship::P2C));
   bytes[kTinyV4FirstRelOffset] = 9;
   EXPECT_THROW(Reader::decode(bytes), DecodeError);
+
+  auto v2 = Writer::encode(tiny_snapshot());
+  ASSERT_EQ(v2[kTinyV2FirstRelOffset], static_cast<std::uint8_t>(Relationship::P2C));
+  v2[kTinyV2FirstRelOffset] = 9;
+  EXPECT_THROW(Reader::decode(v2), DecodeError);
 }
 
 TEST(SnapshotRobustness, OutOfRangeHybridClassThrows) {
-  auto bytes = Writer::encode(tiny_snapshot());
+  auto bytes = Writer::encode_v1(tiny_snapshot());
   ASSERT_EQ(bytes[kTinyHybridClsOffset],
             static_cast<std::uint8_t>(core::HybridClass::TransitV4PeerV6));
   bytes[kTinyHybridClsOffset] = 7;
   EXPECT_THROW(Reader::decode(bytes), DecodeError);
+
+  auto v2 = Writer::encode(tiny_snapshot());
+  ASSERT_EQ(v2[kTinyV2HybridClsOffset],
+            static_cast<std::uint8_t>(core::HybridClass::TransitV4PeerV6));
+  v2[kTinyV2HybridClsOffset] = 7;
+  EXPECT_THROW(Reader::decode(v2), DecodeError);
 }
 
 TEST(SnapshotRobustness, NonCanonicalPairThrows) {
-  auto bytes = Writer::encode(tiny_snapshot());
+  auto bytes = Writer::encode_v1(tiny_snapshot());
   // Rewrite the first v4 entry's link from (1,2) to (2,1).
   const std::uint8_t swapped[8] = {0, 0, 0, 2, 0, 0, 0, 1};
   std::copy(std::begin(swapped), std::end(swapped),
             bytes.begin() + static_cast<long>(kTinyV4FirstEntryOffset));
   EXPECT_THROW(Reader::decode(bytes), DecodeError);
+
+  auto v2 = Writer::encode(tiny_snapshot());
+  std::copy(std::begin(swapped), std::end(swapped),
+            v2.begin() + static_cast<long>(kTinyV2FirstLinkOffset));
+  EXPECT_THROW(Reader::decode(v2), DecodeError);
 }
 
 TEST(SnapshotRobustness, OutOfOrderEntriesThrow) {
-  auto bytes = Writer::encode(tiny_snapshot());
+  auto bytes = Writer::encode_v1(tiny_snapshot());
   // Rewrite the second v4 entry's link from (2,3) to (1,2): duplicates the
   // first entry, breaking the strictly-ascending canonical order.
   const std::uint8_t duplicate[8] = {0, 0, 0, 1, 0, 0, 0, 2};
   std::copy(std::begin(duplicate), std::end(duplicate),
             bytes.begin() + static_cast<long>(kTinyV4SecondEntryOffset));
   EXPECT_THROW(Reader::decode(bytes), DecodeError);
+
+  auto v2 = Writer::encode(tiny_snapshot());
+  std::copy(std::begin(duplicate), std::end(duplicate),
+            v2.begin() + static_cast<long>(kTinyV2SecondLinkOffset));
+  EXPECT_THROW(Reader::decode(v2), DecodeError);
 }
 
 // A garbage count field must fail against the bytes actually present, before
 // any allocation proportional to the claimed count.
 TEST(SnapshotRobustness, CountOverrunFailsFast) {
-  auto bytes = Writer::encode(tiny_snapshot());
+  auto bytes = Writer::encode_v1(tiny_snapshot());
   for (std::size_t i = 0; i < 8; ++i) bytes[kTinyV4CountOffset + i] = 0xff;
   try {
     Reader::decode(bytes);
@@ -257,6 +319,64 @@ TEST(SnapshotRobustness, CountOverrunFailsFast) {
   } catch (const DecodeError& e) {
     EXPECT_NE(std::string(e.what()).find("overruns"), std::string::npos) << e.what();
   }
+
+  auto v2 = Writer::encode(tiny_snapshot());
+  for (std::size_t i = 0; i < 8; ++i) v2[kTinyV2LinkCountOffset + i] = 0xff;
+  try {
+    Reader::decode(v2);
+    FAIL() << "decode accepted an absurd v2 link count";
+  } catch (const DecodeError& e) {
+    EXPECT_NE(std::string(e.what()).find("overruns"), std::string::npos) << e.what();
+  }
+}
+
+// The v2-only failure modes: every structural invariant of the flat layout
+// is checked before any view escapes, each with its own reasoned message.
+TEST(SnapshotRobustness, V2StructuralCorruptionIsReasoned) {
+  const auto pristine = Writer::encode(tiny_snapshot());
+  const auto expect_reason = [&](std::vector<std::uint8_t> bytes, const char* needle) {
+    try {
+      Reader::decode(bytes);
+      FAIL() << "decode accepted a corrupt v2 image (wanted: " << needle << ")";
+    } catch (const DecodeError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+
+  // Declared file size disagrees with the actual byte count.
+  auto size_lie = pristine;
+  size_lie[23] ^= 0x01;  // low byte of the u64 size field at offset 16
+  expect_reason(std::move(size_lie), "does not match the file");
+
+  // A section offset that disagrees with the recomputed layout.
+  auto bad_offset = pristine;
+  bad_offset[48 + 7] ^= 0x08;  // first section offset (ASN table)
+  expect_reason(std::move(bad_offset), "section offset corrupt");
+
+  // Reserved flag bits on a link row.
+  auto bad_flags = pristine;
+  bad_flags[kTinyV2FlagsOffset] |= 0x80;
+  expect_reason(std::move(bad_flags), "reserved bits");
+
+  // A link row whose flags clear both families and the hybrid bit.
+  auto orphan_row = pristine;
+  orphan_row[kTinyV2FlagsOffset] = 0;
+  expect_reason(std::move(orphan_row), "no family");
+
+  // Non-zero padding between sections.
+  auto dirty_pad = pristine;
+  dirty_pad[324] = 0xcc;  // the 4 pad bytes after the 3-entry ASN table
+  expect_reason(std::move(dirty_pad), "padding");
+
+  // AS table out of ascending order.
+  auto unsorted_asn = pristine;
+  unsorted_asn[315] = 9;  // first ASN 1 -> 9, no longer < 2
+  expect_reason(std::move(unsorted_asn), "AS table out of canonical order");
+
+  // A trailing byte breaks the declared size before anything else.
+  auto trailing = pristine;
+  trailing.push_back(0x00);
+  expect_reason(std::move(trailing), "does not match the file");
 }
 
 TEST(SnapshotWriter, RejectsUnencodableSnapshots) {
@@ -342,6 +462,28 @@ TEST(SnapshotDiff, OutputIsCanonicallyOrdered) {
   const std::vector<LinkKey> expected = {LinkKey(3, 4), LinkKey(5, 6), LinkKey(7, 8),
                                          LinkKey(9, 10)};
   EXPECT_EQ(diff.appeared, expected);
+}
+
+// Mixed-version operands: diffing a v1 file against a v2 file (either way
+// round) produces exactly the churn report of the same-version diff — the
+// format a snapshot was stored in is invisible to the diff engine.
+TEST(SnapshotDiff, MixedVersionOperandsDiffIdentically) {
+  const Snapshot& a = census_snapshot();
+  Snapshot b = a;
+  b.rels_v4.set(1, 2, Relationship::P2P);            // churn: appears or flips
+  b.hybrids.push_back({LinkKey(2, 3), Relationship::P2P, Relationship::P2C,
+                       static_cast<std::uint8_t>(core::HybridClass::PeerV4TransitV6), 3});
+
+  const Snapshot a_v1 = Reader::decode(Writer::encode_v1(a));
+  const Snapshot a_v2 = Reader::decode(Writer::encode(a));
+  const Snapshot b_v1 = Reader::decode(Writer::encode_v1(b));
+  const Snapshot b_v2 = Reader::decode(Writer::encode(b));
+
+  const Diff reference = diff_snapshots(a_v2, b_v2);
+  EXPECT_GT(reference.total_churn(), 0u);
+  EXPECT_EQ(diff_snapshots(a_v1, b_v2), reference);
+  EXPECT_EQ(diff_snapshots(a_v2, b_v1), reference);
+  EXPECT_EQ(diff_snapshots(a_v1, b_v1), reference);
 }
 
 // ---------------------------------------------------------------- query
@@ -432,39 +574,99 @@ TEST(SnapshotQuery, EmptySnapshotAnswersEverythingWithNothing) {
   EXPECT_TRUE(index.neighbors(1).empty());
 }
 
-// The on-disk format rejects self-loops (Writer::encode throws), but a
-// hand-built in-memory snapshot can hold one; the index must treat it as a
-// single link with a single neighbor entry, not a doubled one.
-TEST(SnapshotQuery, SelfLoopIsOneLinkOneNeighbor) {
+// Since v2 the index IS the encoded image, so a hand-built snapshot that
+// the format rejects (a self-loop link) cannot be indexed either — the
+// constructor surfaces Writer::encode's InvalidArgument instead of
+// inventing answers the on-disk form could never round-trip.
+TEST(SnapshotQuery, SelfLoopSnapshotsAreUnindexable) {
   Snapshot snap;
   snap.rels_v4.set(5, 5, Relationship::S2S);
   snap.rels_v4.set(5, 6, Relationship::P2C);
-  const QueryIndex index(snap);
-  EXPECT_EQ(index.link_count(), 2u);
-  EXPECT_EQ(index.as_count(), 2u);
+  EXPECT_THROW(QueryIndex{snap}, InvalidArgument);
 
-  const auto self = index.lookup(5, 5);
-  ASSERT_TRUE(self.has_value());
-  EXPECT_EQ(self->rel_v4, Relationship::S2S);
-
-  const auto neighbors = index.neighbors(5);
-  ASSERT_EQ(neighbors.size(), 2u);  // AS5 itself once, then AS6
-  EXPECT_EQ(neighbors[0].asn, 5u);
-  EXPECT_EQ(neighbors[1].asn, 6u);
-  EXPECT_EQ(neighbors[1].info.rel_v4, Relationship::P2C);
+  Snapshot hybrid_self;
+  hybrid_self.hybrids.push_back({LinkKey(7, 7), Relationship::P2P, Relationship::S2S, 0, 1});
+  EXPECT_THROW(QueryIndex{hybrid_self}, InvalidArgument);
 }
 
-// A hand-built hybrid self-loop exercises the hybrid indexing path's
-// self-loop guard too.
-TEST(SnapshotQuery, HybridListSelfLoopIsDeduplicated) {
+// A link listed only in the hybrid table (neither family map knows it) still
+// indexes: present, hybrid, Unknown in both families.
+TEST(SnapshotQuery, HybridOnlyLinksResolveAsUnknownFamilies) {
   Snapshot snap;
-  snap.hybrids.push_back({LinkKey(7, 7), Relationship::P2P, Relationship::S2S, 0, 1});
+  snap.hybrids.push_back({LinkKey(7, 8), Relationship::Unknown, Relationship::Unknown, 0, 1});
+  snap.hybrids.push_back({LinkKey(7, 8), Relationship::Unknown, Relationship::Unknown, 1, 2});
   const QueryIndex index(snap);
-  EXPECT_EQ(index.hybrid_count(), 1u);
+  EXPECT_EQ(index.hybrid_count(), 1u);        // one distinct hybrid link...
+  EXPECT_EQ(index.hybrid_entry_count(), 2u);  // ...from two table entries
+  const auto info = index.lookup(7, 8);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_TRUE(info->hybrid);
+  EXPECT_EQ(info->rel_v4, Relationship::Unknown);
+  EXPECT_EQ(info->rel_v6, Relationship::Unknown);
   const auto neighbors = index.neighbors(7);
   ASSERT_EQ(neighbors.size(), 1u);
-  EXPECT_EQ(neighbors[0].asn, 7u);
+  EXPECT_EQ(neighbors[0].asn, 8u);
   EXPECT_TRUE(neighbors[0].info.hybrid);
+}
+
+// File-backed construction: open() (owned bytes) and open_mapped() (mmap)
+// answer identically for both format versions, and the metadata accessors
+// report the origin file faithfully.
+TEST(SnapshotQuery, OpenAndOpenMappedServeBothVersions) {
+  const Snapshot snap = tiny_snapshot();
+  const std::string v2_path = ::testing::TempDir() + "/query_v2.snap";
+  const std::string v1_path = ::testing::TempDir() + "/query_v1.snap";
+  Writer::write_file(snap, v2_path);
+  save_bytes(v1_path, Writer::encode_v1(snap));
+
+  const QueryIndex eager_v2 = QueryIndex::open(v2_path);
+  const QueryIndex eager_v1 = QueryIndex::open(v1_path);
+  const QueryIndex mapped_v2 = QueryIndex::open_mapped(v2_path);
+  const QueryIndex mapped_v1 = QueryIndex::open_mapped(v1_path);
+
+  EXPECT_EQ(eager_v2.format_version(), 2u);
+  EXPECT_EQ(eager_v1.format_version(), 1u);
+  EXPECT_EQ(eager_v2.snapshot_bytes(), kTinyV2Size);
+  EXPECT_EQ(eager_v1.snapshot_bytes(), kTinyV1Size);
+  EXPECT_FALSE(eager_v2.is_mapped());
+  EXPECT_TRUE(mapped_v2.is_mapped());
+  EXPECT_FALSE(mapped_v1.is_mapped());  // v1 falls back to an owned image
+  // Whatever the origin version, the serving image is always a v2 image.
+  EXPECT_EQ(eager_v1.mapped_bytes(), kTinyV2Size);
+  EXPECT_EQ(mapped_v2.mapped_bytes(), kTinyV2Size);
+
+  for (const QueryIndex* index : {&eager_v2, &eager_v1, &mapped_v2, &mapped_v1}) {
+    EXPECT_EQ(index->link_count(), 2u);
+    EXPECT_EQ(index->as_count(), 3u);
+    EXPECT_EQ(index->hybrid_count(), 1u);
+    EXPECT_EQ(index->source(), "tiny.mrt");
+    EXPECT_EQ(index->timestamp(), 1700000000u);
+    const auto info = index->lookup(2, 1);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->rel_v4, Relationship::C2P);
+    EXPECT_TRUE(info->hybrid);
+    EXPECT_EQ(index->neighbors(2).size(), 2u);
+  }
+
+  std::remove(v2_path.c_str());
+  std::remove(v1_path.c_str());
+}
+
+// A view created before a rename()-replacement keeps answering from the old
+// image (the mapping pins the inode; owned bytes trivially survive).
+TEST(SnapshotQuery, MappedViewSurvivesFileReplacement) {
+  const std::string path = ::testing::TempDir() + "/replace.snap";
+  Writer::write_file(tiny_snapshot(), path);
+  const QueryIndex before = QueryIndex::open_mapped(path);
+
+  Snapshot changed = tiny_snapshot();
+  changed.rels_v4.set(1, 2, Relationship::P2P);  // flip the (1,2) relationship
+  Writer::write_file(changed, path);             // atomic rename-replace
+
+  EXPECT_EQ(before.lookup(1, 2)->rel_v4, Relationship::P2C);  // old bytes
+  const QueryIndex after = QueryIndex::open_mapped(path);
+  EXPECT_EQ(after.lookup(1, 2)->rel_v4, Relationship::P2P);   // new bytes
+  std::remove(path.c_str());
 }
 
 // --------------------------------------------------- error-reason contracts
@@ -477,7 +679,7 @@ TEST(SnapshotQuery, HybridListSelfLoopIsDeduplicated) {
 // round, and never a generic "bad snapshot".
 
 TEST(SnapshotErrorReasons, RelationshipCountOverrunNamesSectionAndCount) {
-  auto bytes = Writer::encode(tiny_snapshot());
+  auto bytes = Writer::encode_v1(tiny_snapshot());
   // Claim 2^64-1 v4 relationship entries; the file obviously has fewer.
   for (std::size_t i = 0; i < 8; ++i) bytes[kTinyV4CountOffset + i] = 0xff;
   try {
@@ -494,10 +696,10 @@ TEST(SnapshotErrorReasons, RelationshipCountOverrunNamesSectionAndCount) {
 }
 
 TEST(SnapshotErrorReasons, HybridCountOverrunNamesItsOwnSection) {
-  auto bytes = Writer::encode(tiny_snapshot());
+  auto bytes = Writer::encode_v1(tiny_snapshot());
   // The hybrid count sits right after the two maps: 8 bytes before the one
   // 19-byte hybrid entry and the 4-byte trailer.
-  const std::size_t hybrid_count_offset = kTinySize - 4 - 19 - 8;
+  const std::size_t hybrid_count_offset = kTinyV1Size - 4 - 19 - 8;
   for (std::size_t i = 0; i < 8; ++i) bytes[hybrid_count_offset + i] = 0xff;
   try {
     Reader::decode(bytes);
@@ -510,7 +712,7 @@ TEST(SnapshotErrorReasons, HybridCountOverrunNamesItsOwnSection) {
 }
 
 TEST(SnapshotErrorReasons, TrailingGarbageNamesTheByteCount) {
-  auto bytes = Writer::encode(tiny_snapshot());
+  auto bytes = Writer::encode_v1(tiny_snapshot());
   for (int i = 0; i < 7; ++i) bytes.push_back(0xab);
   try {
     Reader::decode(bytes);
@@ -528,7 +730,7 @@ TEST(SnapshotErrorReasons, TrailingGarbageNamesTheByteCount) {
 // *overrun of structure*, not trailing garbage — the reader runs out of
 // entry bytes (or trips a downstream check), it never reports leftovers.
 TEST(SnapshotErrorReasons, CountOffByOneIsNeverReportedAsTrailingGarbage) {
-  auto bytes = Writer::encode(tiny_snapshot());
+  auto bytes = Writer::encode_v1(tiny_snapshot());
   bytes[kTinyV4CountOffset + 7] = 3;  // tiny snapshot has 2 v4 entries
   try {
     Reader::decode(bytes);

@@ -13,7 +13,12 @@
 //   query   [--json] <snap> <asn> [asn2]
 //                              AS-pair relationship / AS neighbor-list lookup
 //                              against a snapshot; --json emits the same
-//                              bytes the query daemon serves over HTTP
+//                              bytes the query daemon serves over HTTP.
+//                              v2 snapshots are mmap'd and searched in-file
+//                              (zero-copy); v1 snapshots decode eagerly
+//   snapshot-upgrade <in.snap> <out.snap>
+//                              re-encode any readable snapshot in the
+//                              current (v2, mmap-able) format
 //   serve   <snap> [--port N] [--jobs N]
 //                              long-running query daemon over one snapshot:
 //                              loads it once into a QueryIndex and serves
@@ -129,6 +134,7 @@ int usage() {
                "  hybridtor inspect <rib.mrt>\n"
                "  hybridtor diff <a.snap> <b.snap>\n"
                "  hybridtor query [--json] <snap> <asn> [asn2]\n"
+               "  hybridtor snapshot-upgrade <in.snap> <out.snap>\n"
                "  hybridtor serve <snap> [--port N] [--jobs N]\n";
   return 2;
 }
@@ -349,9 +355,32 @@ int cmd_diff(const std::string& path_a, const std::string& path_b) {
   return 0;
 }
 
+int cmd_snapshot_upgrade(const std::string& in_path, const std::string& out_path) {
+  const auto snap = load_snapshot(in_path);  // any readable version
+  snapshot::Writer::write_file(snap, out_path);
+  const snapshot::QueryIndex upgraded = snapshot::QueryIndex::open_mapped(out_path);
+  std::cout << "wrote " << out_path << " (format v" << snapshot::kFormatVersion << ", "
+            << upgraded.snapshot_bytes() << " bytes, from " << in_path << " format v"
+            << snap.header.version << "; links " << upgraded.link_count() << ", ases "
+            << upgraded.as_count() << ", hybrids " << upgraded.hybrid_count() << ")\n";
+  return 0;
+}
+
 int cmd_query(const std::string& snap_path, Asn asn, std::optional<Asn> other, bool json) {
-  const auto snap = load_snapshot(snap_path);
-  const snapshot::QueryIndex index(snap);
+  // mmap-backed for v2 files: the kernel pages in only the header plus the
+  // few link rows the binary search touches.  v1 files decode eagerly.
+  const snapshot::QueryIndex index = [&] {
+    try {
+      return snapshot::QueryIndex::open_mapped(snap_path);
+    } catch (const Error& e) {
+      throw Error(snap_path + ": " + e.what());
+    }
+  }();
+  if (!json) {
+    std::cout << snap_path << ": format v" << index.format_version() << ", "
+              << index.snapshot_bytes() << " bytes" << (index.is_mapped() ? ", mapped" : "")
+              << "\n";
+  }
 
   // --json renders through server/render, the same functions the query
   // daemon uses for its HTTP bodies — CLI stdout and a daemon response for
@@ -561,6 +590,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "inspect" && args.size() == 2) return cmd_inspect(args[1]);
     if (cmd == "diff" && args.size() == 3) return cmd_diff(args[1], args[2]);
+    if (cmd == "snapshot-upgrade" && args.size() == 3) {
+      return cmd_snapshot_upgrade(args[1], args[2]);
+    }
     if (cmd == "query" && (args.size() == 3 || args.size() == 4)) {
       const auto asn = parse_asn_arg(args[2]);
       if (!asn) return 2;

@@ -23,6 +23,12 @@ enforces them over ``src/`` and ``tools/``:
   naked-thread      ``std::thread`` outside util/thread_pool: ad-hoc threads
                     bypass the pool's shutdown ordering and shard
                     determinism.  (``std::this_thread`` is fine.)
+  raw-mmap          ``mmap``/``munmap``/``madvise`` (and friends) outside
+                    util/mmap_file and snapshot/layout*: mappings must go
+                    through the RAII MmapFile wrapper so lifetime and unmap
+                    ordering stay in one place, and raw views over mapped
+                    bytes stay confined to the v2 layout module where every
+                    access is offset-validated first.
   pragma-once       every header starts its include guard with
                     ``#pragma once``.
   namespace         every file under src/ opens a ``namespace htor`` (or a
@@ -55,9 +61,12 @@ import sys
 import tempfile
 
 # Files where a rule does not apply: the one module allowed to do raw byte
-# work, and the one module allowed to own threads.
+# work, the one module allowed to own threads, and the two modules allowed
+# to touch memory mappings (the RAII wrapper and the offset-validated v2
+# layout views).
 BYTES_HOME = re.compile(r"(^|/)src/util/bytes\.(hpp|cpp)$")
 THREAD_HOME = re.compile(r"(^|/)src/util/thread_pool\.(hpp|cpp)$")
+MMAP_HOME = re.compile(r"(^|/)src/(util/mmap_file|snapshot/layout[^/]*)\.(hpp|cpp)$")
 
 ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([\w-]+)\)\s*(.*)$")
 LINE_COMMENT_RE = re.compile(r"//.*$")
@@ -90,6 +99,10 @@ def _not_bytes_home(path):
 
 def _not_thread_home(path):
     return not THREAD_HOME.search(path)
+
+
+def _not_mmap_home(path):
+    return not MMAP_HOME.search(path)
 
 
 LINE_RULES = [
@@ -133,6 +146,14 @@ LINE_RULES = [
         "std::thread outside util/thread_pool; submit work to the pool or "
         "justify with an allow comment",
         _not_thread_home,
+    ),
+    (
+        "raw-mmap",
+        re.compile(r"\b(?:mmap|munmap|mremap|madvise|mprotect)\s*\("),
+        "raw memory-mapping call outside util/mmap_file and "
+        "snapshot/layout*; go through the MmapFile RAII wrapper or justify "
+        "with an allow comment",
+        _not_mmap_home,
     ),
 ]
 
@@ -250,6 +271,16 @@ SELF_TEST_CASES = [
         {"naked-thread"},
     ),
     (
+        "mmap outside the wrapper",
+        "src/server/bad_map.cpp",
+        "namespace htor {\n"
+        "void* map_it(unsigned long n, int fd) {\n"
+        "  return mmap(nullptr, n, 1, 2, fd, 0);\n"
+        "}\n"
+        "}  // namespace htor\n",
+        {"raw-mmap"},
+    ),
+    (
         "header without pragma once",
         "src/util/bad_header.hpp",
         "namespace htor {\nint x();\n}  // namespace htor\n",
@@ -286,6 +317,16 @@ SELF_TEST_CASES = [
         "namespace htor {\n"
         'const char* kMsg = "never call atoi or memcpy here";\n'
         "// a comment may mention std::thread and reinterpret_cast freely\n"
+        "}  // namespace htor\n",
+        set(),
+    ),
+    (
+        "mmap inside the RAII wrapper is its job",
+        "src/util/mmap_file.cpp",
+        "namespace htor {\n"
+        "void* map_it(unsigned long n, int fd) {\n"
+        "  return mmap(nullptr, n, 1, 2, fd, 0);\n"
+        "}\n"
         "}  // namespace htor\n",
         set(),
     ),
