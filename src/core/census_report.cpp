@@ -1,5 +1,6 @@
 #include "core/census_report.hpp"
 
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace htor::core {
@@ -12,41 +13,62 @@ CensusReport run_census(const mrt::ObservedRib& rib, const rpsl::CommunityDictio
 
 CensusReport run_census(const mrt::ObservedRib& rib, const rpsl::CommunityDictionary& dict,
                         const InferenceConfig& config, ThreadPool& pool) {
+  OBS_SPAN("census");
   CensusReport report;
 
-  report.v4_path_store = paths_of(rib, IpVersion::V4, pool);
-  report.v6_path_store = paths_of(rib, IpVersion::V6, pool);
-  report.v4_paths = report.v4_path_store.unique_paths();
-  report.v6_paths = report.v6_path_store.unique_paths();
-
-  const auto v4_links = report.v4_path_store.links();
-  const auto v6_links = report.v6_path_store.links();
-  const auto duals = dual_stack_links(v4_links, v6_links, pool);
+  std::vector<LinkKey> v4_links;
+  std::vector<LinkKey> v6_links;
+  std::vector<LinkKey> duals;
+  {
+    OBS_SPAN("census.paths");
+    report.v4_path_store = paths_of(rib, IpVersion::V4, pool);
+    report.v6_path_store = paths_of(rib, IpVersion::V6, pool);
+    report.v4_paths = report.v4_path_store.unique_paths();
+    report.v6_paths = report.v6_path_store.unique_paths();
+    v4_links = report.v4_path_store.links();
+    v6_links = report.v6_path_store.links();
+  }
+  {
+    OBS_SPAN("census.duals");
+    duals = dual_stack_links(v4_links, v6_links, pool);
+  }
   report.v4_links = v4_links.size();
   report.v6_links = v6_links.size();
   report.dual_links = duals.size();
 
-  report.inferred = infer_relationships(rib, dict, config, pool);
-  report.v4_coverage = coverage(v4_links, report.inferred.v4);
-  report.v6_coverage = coverage(v6_links, report.inferred.v6);
+  {
+    OBS_SPAN("census.infer");
+    report.inferred = infer_relationships(rib, dict, config, pool);
+  }
+  {
+    OBS_SPAN("census.coverage");
+    report.v4_coverage = coverage(v4_links, report.inferred.v4);
+    report.v6_coverage = coverage(v6_links, report.inferred.v6);
 
-  // Dual coverage in the paper's sense: both the IPv4 and the IPv6
-  // relationship of the link are known.
-  report.dual_coverage.observed_links = duals.size();
-  for (const LinkKey& key : duals) {
-    if (report.inferred.v4.get(key.first, key.second) != Relationship::Unknown &&
-        report.inferred.v6.get(key.first, key.second) != Relationship::Unknown) {
-      ++report.dual_coverage.covered_links;
+    // Dual coverage in the paper's sense: both the IPv4 and the IPv6
+    // relationship of the link are known.
+    report.dual_coverage.observed_links = duals.size();
+    for (const LinkKey& key : duals) {
+      if (report.inferred.v4.get(key.first, key.second) != Relationship::Unknown &&
+          report.inferred.v6.get(key.first, key.second) != Relationship::Unknown) {
+        ++report.dual_coverage.covered_links;
+      }
     }
   }
 
-  // Tier attribution from the richer (IPv4) inferred map.
-  const auto tiers = classify_tiers(report.inferred.v4);
-  report.hybrids = detect_hybrids(duals, report.inferred.v4, report.inferred.v6,
-                                  report.v6_path_store, &tiers);
+  {
+    OBS_SPAN("census.hybrids");
+    // Tier attribution from the richer (IPv4) inferred map.
+    const auto tiers = classify_tiers(report.inferred.v4);
+    report.hybrids = detect_hybrids(duals, report.inferred.v4, report.inferred.v6,
+                                    report.v6_path_store, &tiers);
+  }
 
-  report.v6_valleys = census_valleys(report.v6_path_store, report.inferred.v6, pool);
-  report.v4_valleys = census_valleys(report.v4_path_store, report.inferred.v4, pool);
+  {
+    OBS_SPAN("census.valleys");
+    report.v6_valleys = census_valleys(report.v6_path_store, report.inferred.v6, pool);
+    report.v4_valleys = census_valleys(report.v4_path_store, report.inferred.v4, pool);
+  }
   return report;
 }
 

@@ -5,6 +5,7 @@
 #include "core/parallel.hpp"
 #include "mrt/reader.hpp"
 #include "mrt/stream_reader.hpp"
+#include "obs/trace.hpp"
 
 namespace htor::core {
 
@@ -63,22 +64,26 @@ InferredRelationships infer_relationships(const mrt::ObservedRib& rib,
     }
     return futures;
   };
-  auto v4_futures = submit_scans(v4_routes);
-  auto v6_futures = submit_scans(v6_routes);
-
   std::exception_ptr first_error;
-  const CommunityVotes v4_votes = collect_votes(v4_futures, first_error);
-  const CommunityVotes v6_votes = collect_votes(v6_futures, first_error);
-  if (first_error) std::rethrow_exception(first_error);
+  {
+    OBS_SPAN("census.infer.community");
+    auto v4_futures = submit_scans(v4_routes);
+    auto v6_futures = submit_scans(v6_routes);
 
-  out.community_v4 = tally_community_votes(v4_votes, config.community);
-  out.community_v6 = tally_community_votes(v6_votes, config.community);
-  out.v4 = out.community_v4.rels;
-  out.v6 = out.community_v6.rels;
+    const CommunityVotes v4_votes = collect_votes(v4_futures, first_error);
+    const CommunityVotes v6_votes = collect_votes(v6_futures, first_error);
+    if (first_error) std::rethrow_exception(first_error);
+
+    out.community_v4 = tally_community_votes(v4_votes, config.community);
+    out.community_v6 = tally_community_votes(v6_votes, config.community);
+    out.v4 = out.community_v4.rels;
+    out.v6 = out.community_v6.rels;
+  }
 
   // Phase 2: one Rosetta pass per family, two independent pool tasks (each
   // reads only its own family's routes and community map).
   if (config.use_rosetta) {
+    OBS_SPAN("census.infer.rosetta");
     auto v4_rosetta = pool.submit(
         [&] { return run_rosetta(v4_routes, dict, out.v4, config.rosetta); });
     auto v6_rosetta = pool.submit(

@@ -5,11 +5,32 @@
 
 #include "core/parallel.hpp"
 #include "mrt/reader.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/bytes.hpp"
 
 namespace htor::mrt {
 
 namespace {
+
+/// Registry handles for the ingest metric catalogue (README "Observability").
+/// Resolved once — next() runs per record, so per-call name lookups would be
+/// measurable; the handles themselves are just sharded-cell pointers.
+struct IngestMetrics {
+  obs::Counter records = obs::MetricsRegistry::global().counter("htor_ingest_records_total");
+  obs::Counter bytes = obs::MetricsRegistry::global().counter("htor_ingest_bytes_total");
+  obs::Counter batches = obs::MetricsRegistry::global().counter("htor_ingest_batches_total");
+
+  obs::Counter decode_error(const char* reason) {
+    return obs::MetricsRegistry::global().counter("htor_ingest_decode_errors_total",
+                                                  {{"reason", reason}});
+  }
+
+  static IngestMetrics& get() {
+    static IngestMetrics metrics;
+    return metrics;
+  }
+};
 
 bool is_peer_index_table(const RawFramedRecord& rec) {
   return rec.type == static_cast<std::uint16_t>(MrtType::TableDumpV2) &&
@@ -32,20 +53,34 @@ struct PendingRecord {
 
 /// Decode + join one batch on the pool; shards merge in record order.
 void flush_batch(std::vector<PendingRecord>& batch, ThreadPool& pool, ObservedRib& rib) {
-  auto shards = core::shard_map(pool, batch.size(), [&batch](const core::ShardRange& range) {
-    std::vector<ObservedRoute> out;
-    for (std::size_t i = range.begin; i < range.end; ++i) {
-      const PendingRecord& item = batch[i];
-      const Record record = decode_record_body(item.raw.timestamp, item.raw.type,
-                                               item.raw.subtype, item.raw.body);
-      const auto* rib_rec = std::get_if<RibPrefixRecord>(&record.body);
-      if (rib_rec == nullptr) continue;  // decoded only to validate the bytes
-      join_rib_record(*rib_rec, *item.peers, out);
+  IngestMetrics::get().batches.inc();
+  std::vector<std::vector<ObservedRoute>> shards;
+  {
+    OBS_SPAN("ingest.decode");
+    shards = core::shard_map(pool, batch.size(), [&batch](const core::ShardRange& range) {
+      std::vector<ObservedRoute> out;
+      for (std::size_t i = range.begin; i < range.end; ++i) {
+        const PendingRecord& item = batch[i];
+        Record record;
+        try {
+          record = decode_record_body(item.raw.timestamp, item.raw.type,
+                                      item.raw.subtype, item.raw.body);
+        } catch (const DecodeError&) {
+          IngestMetrics::get().decode_error("record_body").inc();
+          throw;
+        }
+        const auto* rib_rec = std::get_if<RibPrefixRecord>(&record.body);
+        if (rib_rec == nullptr) continue;  // decoded only to validate the bytes
+        join_rib_record(*rib_rec, *item.peers, out);
+      }
+      return out;
+    });
+  }
+  {
+    OBS_SPAN("ingest.apply");
+    for (auto& shard : shards) {
+      for (auto& route : shard) rib.add(std::move(route));
     }
-    return out;
-  });
-  for (auto& shard : shards) {
-    for (auto& route : shard) rib.add(std::move(route));
   }
   batch.clear();
 }
@@ -75,6 +110,7 @@ std::optional<RawFramedRecord> MrtStreamReader::next() {
   if (got == 0 && in_.eof()) return std::nullopt;  // clean end-of-file
   if (got < static_cast<std::streamsize>(kHeaderBytes)) {
     if (in_.eof()) {
+      IngestMetrics::get().decode_error("truncated_header").inc();
       throw DecodeError("truncated MRT record header at byte " + std::to_string(bytes_) +
                         " of '" + path_ + "': " + std::to_string(got) + " of 12 bytes");
     }
@@ -95,11 +131,13 @@ std::optional<RawFramedRecord> MrtStreamReader::next() {
   // an unsigned underflow that would disable this guard.
   const std::uint64_t body_start = bytes_ + kHeaderBytes;
   if (body_start > file_size_) {
+    IngestMetrics::get().decode_error("header_overrun").inc();
     throw DecodeError("MRT record header at byte " + std::to_string(bytes_) + " of '" + path_ +
                       "' extends past the file size observed at open (" +
                       std::to_string(file_size_) + " bytes); file changed while reading?");
   }
   if (length > file_size_ - body_start) {
+    IngestMetrics::get().decode_error("body_overrun").inc();
     throw DecodeError("MRT record at byte " + std::to_string(bytes_) + " of '" + path_ +
                       "' declares " + std::to_string(length) + " body bytes but only " +
                       std::to_string(file_size_ - body_start) + " remain");
@@ -111,6 +149,7 @@ std::optional<RawFramedRecord> MrtStreamReader::next() {
   in_.read(reinterpret_cast<char*>(rec.body.data()), static_cast<std::streamsize>(length));
   if (in_.gcount() < static_cast<std::streamsize>(length)) {
     if (in_.eof()) {  // file shrank under us
+      IngestMetrics::get().decode_error("truncated_body").inc();
       throw DecodeError("truncated MRT record body at byte " + std::to_string(body_start) +
                         " of '" + path_ + "'");
     }
@@ -119,11 +158,14 @@ std::optional<RawFramedRecord> MrtStreamReader::next() {
 
   bytes_ = body_start + length;
   ++records_;
+  IngestMetrics::get().records.inc();
+  IngestMetrics::get().bytes.inc(kHeaderBytes + length);
   return rec;
 }
 
 ObservedRib rib_from_stream(const std::string& path, ThreadPool& pool,
                             std::size_t batch_records) {
+  OBS_SPAN("ingest");
   if (batch_records == 0) batch_records = kStreamBatchRecords;
   MrtStreamReader stream(path);
   ObservedRib rib;

@@ -1,0 +1,109 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace htor::obs {
+
+namespace {
+
+/// Small sequential thread ids for trace rows — stable within a process run
+/// and far more legible in chrome://tracing than std::thread::id hashes.
+std::uint32_t trace_thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::uint64_t us_between(std::chrono::steady_clock::time_point a,
+                         std::chrono::steady_clock::time_point b) {
+  if (b <= a) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+}  // namespace
+
+TraceCollector& TraceCollector::global() {
+  static TraceCollector* instance = new TraceCollector();  // never destroyed
+  return *instance;
+}
+
+void TraceCollector::enable() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceCollector::disable() { enabled_.store(false, std::memory_order_release); }
+
+void TraceCollector::record(std::string_view name,
+                            std::chrono::steady_clock::time_point start,
+                            std::chrono::steady_clock::time_point end) {
+  const std::uint32_t tid = trace_thread_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;  // raced a disable()
+  Event event;
+  event.name.assign(name);
+  event.start_us = us_between(epoch_, start);
+  event.duration_us = us_between(start, end);
+  event.tid = tid;
+  events_.push_back(std::move(event));
+}
+
+std::size_t TraceCollector::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string TraceCollector::render_json() const {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events = events_;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.start_us < b.start_us; });
+
+  JsonWriter writer;
+  writer.begin_object().key("traceEvents").begin_array();
+  for (const auto& event : events) {
+    writer.begin_object();
+    writer.key("name").value(event.name);
+    writer.key("ph").value("X");
+    writer.key("ts").value(event.start_us);
+    writer.key("dur").value(event.duration_us);
+    writer.key("pid").value(std::uint64_t{1});
+    writer.key("tid").value(event.tid);
+    writer.end_object();
+  }
+  writer.end_array().key("displayTimeUnit").value("ms").end_object();
+  return writer.str();
+}
+
+void TraceCollector::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot open trace output file: " + path);
+  out << render_json();
+  out.flush();
+  if (!out) throw Error("failed writing trace output file: " + path);
+}
+
+Span::~Span() {
+  const auto end = std::chrono::steady_clock::now();
+  // Handles are find-or-create behind a registry mutex; spans fire at stage
+  // granularity (dozens per run, not per record), so the lookup cost is
+  // irrelevant and the handle cache a thread_local map would need isn't
+  // worth its complexity.
+  MetricsRegistry::global()
+      .histogram(kStageDurationMetric, {{"stage", std::string(name_)}})
+      .record(us_between(start_, end));
+  auto& collector = TraceCollector::global();
+  if (collector.enabled()) collector.record(name_, start_, end);
+}
+
+}  // namespace htor::obs

@@ -1,0 +1,99 @@
+// Stage-scoped tracing spans.
+//
+// A Span times a named pipeline stage ("ingest.decode", "census.paths", ...)
+// with RAII: construction stamps the start, destruction stamps the end and
+// records the duration into the stage's latency histogram
+// (htor_stage_duration_us{stage="..."} in MetricsRegistry::global()).  The
+// OBS_SPAN macro declares one for the enclosing scope:
+//
+//   void flush_batch(...) {
+//     OBS_SPAN("ingest.apply");
+//     ...
+//   }
+//
+// Histogram recording is always on (it is a couple of relaxed atomic adds —
+// see BM_MetricsIncrement).  Full event capture is opt-in: when a caller has
+// enabled the process TraceCollector (the CLI's --trace-out flag), each
+// completed span additionally appends a Chrome-trace "complete" event
+// ({"ph":"X"} with µs start/duration and the recording thread's id), and
+// TraceCollector::write_file() emits a {"traceEvents":[...]} JSON file that
+// chrome://tracing and Perfetto load directly.  When disabled (the default,
+// and always in the daemon), spans never take the collector lock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace htor::obs {
+
+/// Collects completed span events for Chrome-trace export.  One process-wide
+/// instance (TraceCollector::global()); disabled until enable() is called,
+/// so the daemon and tests pay nothing for the machinery.
+class TraceCollector {
+ public:
+  struct Event {
+    std::string name;
+    std::uint64_t start_us = 0;  ///< µs since enable()
+    std::uint64_t duration_us = 0;
+    std::uint32_t tid = 0;
+  };
+
+  static TraceCollector& global();
+
+  /// Start capturing: clears prior events and stamps the trace epoch that
+  /// event timestamps are relative to.
+  void enable();
+  void disable();
+  bool enabled() const noexcept { return enabled_.load(std::memory_order_acquire); }
+
+  void record(std::string_view name,
+              std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end);
+
+  /// Chrome trace event format: {"traceEvents":[{"name","ph":"X","ts","dur",
+  /// "pid","tid"},...]}.  Events are ordered by start time.
+  std::string render_json() const;
+
+  /// render_json() to `path`; throws htor::Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+  std::size_t event_count() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_{};
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+/// RAII stage timer.  Not copyable or movable — it is only ever a scoped
+/// local.  `name` must outlive the span (string literals in practice).
+class Span {
+ public:
+  explicit Span(std::string_view name)
+      : name_(name), start_(std::chrono::steady_clock::now()) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+ private:
+  std::string_view name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Histogram family every span records into (labels: stage=<name>).
+inline constexpr std::string_view kStageDurationMetric = "htor_stage_duration_us";
+
+#define OBS_CONCAT_INNER(a, b) a##b
+#define OBS_CONCAT(a, b) OBS_CONCAT_INNER(a, b)
+
+/// Time the enclosing scope as pipeline stage `name` (a string literal).
+#define OBS_SPAN(name) ::htor::obs::Span OBS_CONCAT(obs_span_, __LINE__)(name)
+
+}  // namespace htor::obs

@@ -79,6 +79,35 @@ QueryDaemon::QueryDaemon(std::string snapshot_path, DaemonConfig config)
       pool_(connection_workers(config.jobs)) {
   // Eager initial load: a daemon never starts without a servable index.
   state_ = std::make_shared<const ServingState>(snapshot::QueryIndex::open(snapshot_path_), 1);
+
+  auto& registry = obs::MetricsRegistry::global();
+  for (std::size_t i = 0; i < kEndpointCount; ++i) {
+    endpoint_requests_[i] =
+        registry.counter("htor_http_requests_total", {{"endpoint", endpoint_name(i)}});
+  }
+  static constexpr const char* kClasses[] = {"2xx", "3xx", "4xx", "5xx"};
+  for (std::size_t i = 0; i < 4; ++i) {
+    status_class_[i] = registry.counter("htor_http_responses_total", {{"class", kClasses[i]}});
+  }
+  request_latency_ = registry.histogram("htor_http_request_duration_us");
+  parse_failures_ = registry.counter("htor_http_parse_failures_total");
+  reloads_ok_ = registry.counter("htor_reloads_total", {{"result", "ok"}});
+  reloads_failed_ = registry.counter("htor_reloads_total", {{"result", "failed"}});
+  last_reload_us_ = registry.gauge("htor_reload_last_us");
+
+  using Kind = obs::MetricsRegistry::Kind;
+  polled_.push_back(registry.callback("htor_daemon_epoch", {}, Kind::Gauge,
+                                      [this] { return static_cast<std::int64_t>(epoch()); }));
+  polled_.push_back(registry.callback(
+      "htor_http_active_connections", {}, Kind::Gauge, [this] {
+        return static_cast<std::int64_t>(active_connections_.load(std::memory_order_relaxed));
+      }));
+  polled_.push_back(registry.callback(
+      "htor_threadpool_queue_depth", {{"pool", "serve"}}, Kind::Gauge,
+      [this] { return static_cast<std::int64_t>(pool_.queued()); }));
+  polled_.push_back(registry.callback(
+      "htor_threadpool_tasks_executed_total", {{"pool", "serve"}}, Kind::Counter,
+      [this] { return static_cast<std::int64_t>(pool_.executed()); }));
 }
 
 QueryDaemon::~QueryDaemon() { stop(); }
@@ -163,7 +192,7 @@ bool QueryDaemon::reload() {
   } catch (const std::exception& e) {
     std::lock_guard<std::mutex> lock(state_mutex_);
     last_reload_error_ = e.what();
-    reloads_failed_.fetch_add(1, std::memory_order_relaxed);
+    reloads_failed_.inc();
     return false;  // the old state keeps serving, untouched
   }
   const auto micros = static_cast<std::uint64_t>(
@@ -171,8 +200,8 @@ bool QueryDaemon::reload() {
   std::lock_guard<std::mutex> lock(state_mutex_);
   state_ = std::move(fresh);
   last_reload_error_.clear();
-  reloads_ok_.fetch_add(1, std::memory_order_relaxed);
-  last_reload_us_.store(micros, std::memory_order_relaxed);
+  reloads_ok_.inc();
+  last_reload_us_.set(static_cast<std::int64_t>(micros));
   return true;
 }
 
@@ -229,10 +258,10 @@ QueryDaemon::PumpResult QueryDaemon::pump(Connection& conn) {
       const auto status = conn.parser.feed(conn.pending, consumed);
       conn.pending.erase(0, consumed);
       if (status == RequestParser::Status::Bad) {
-        requests_total_.fetch_add(1, std::memory_order_relaxed);
-        parse_failures_.fetch_add(1, std::memory_order_relaxed);
-        const std::size_t cls = std::clamp(conn.parser.error_status() / 100 - 2, 0, 3);
-        by_status_class_[cls].fetch_add(1, std::memory_order_relaxed);
+        parse_failures_.inc();
+        const std::size_t cls =
+            static_cast<std::size_t>(std::clamp(conn.parser.error_status() / 100 - 2, 0, 3));
+        status_class_[cls].inc();
         HttpResponse resp = json_response(conn.parser.error_status(),
                                           error_json(conn.parser.error()));
         resp.keep_alive = false;  // the stream is unsynchronized; drop it
@@ -241,9 +270,15 @@ QueryDaemon::PumpResult QueryDaemon::pump(Connection& conn) {
       }
       if (status == RequestParser::Status::NeedMore) break;
       const HttpRequest& request = conn.parser.request();
+      const auto t0 = Clock::now();
       HttpResponse resp = handle(request);
       resp.keep_alive = request.keep_alive() && !stop_.load(std::memory_order_relaxed);
-      if (!send_all(conn.fd, resp.serialize(request.method != "HEAD"))) {
+      const std::string wire = resp.serialize(request.method != "HEAD");
+      // The one latency recording point: route + render + serialize done,
+      // socket write not yet started (rationale in daemon.hpp).
+      request_latency_.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0).count()));
+      if (!send_all(conn.fd, wire)) {
         return PumpResult::Finished;
       }
       if (!resp.keep_alive) return PumpResult::Finished;
@@ -270,7 +305,6 @@ QueryDaemon::PumpResult QueryDaemon::pump(Connection& conn) {
 }
 
 HttpResponse QueryDaemon::handle(const HttpRequest& request) {
-  const auto t0 = Clock::now();
   std::size_t endpoint = kOther;
   HttpResponse resp;
   try {
@@ -278,9 +312,7 @@ HttpResponse QueryDaemon::handle(const HttpRequest& request) {
   } catch (const std::exception& e) {
     resp = json_response(500, error_json(std::string("internal error: ") + e.what()));
   }
-  const auto micros = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0).count());
-  record(endpoint, resp.status, micros);
+  record(endpoint, resp.status);
   return resp;
 }
 
@@ -312,6 +344,19 @@ HttpResponse QueryDaemon::route(const HttpRequest& request, std::size_t& endpoin
     endpoint = kMetrics;
     if (!is_get) return method_not_allowed("GET");
     return json_response(200, metrics_json());
+  }
+
+  if (path == "/metrics") {
+    // Prometheus text exposition of the whole process registry — the same
+    // counters /v1/metrics renders as JSON, plus everything other
+    // subsystems (ingest, snapshot, spans) recorded in this process.
+    endpoint = kMetrics;
+    if (!is_get) return method_not_allowed("GET");
+    HttpResponse resp;
+    resp.status = 200;
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = obs::MetricsRegistry::global().render_prometheus();
+    return resp;
   }
 
   if (path == "/v1/reload") {
@@ -373,24 +418,30 @@ HttpResponse QueryDaemon::route(const HttpRequest& request, std::size_t& endpoin
   return json_response(404, error_json("no such endpoint: " + std::string(path)));
 }
 
-void QueryDaemon::record(std::size_t endpoint, int status, std::uint64_t micros) {
-  requests_total_.fetch_add(1, std::memory_order_relaxed);
-  by_endpoint_[endpoint].fetch_add(1, std::memory_order_relaxed);
+void QueryDaemon::record(std::size_t endpoint, int status) {
+  endpoint_requests_[endpoint].inc();
   const std::size_t cls =
       static_cast<std::size_t>(std::clamp(status / 100 - 2, 0, 3));
-  by_status_class_[cls].fetch_add(1, std::memory_order_relaxed);
-  std::size_t bucket = kLatencyBuckets;  // overflow unless a bound fits
-  for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
-    if (micros <= (std::uint64_t{1} << i)) {
-      bucket = i;
-      break;
-    }
-  }
-  latency_[bucket].fetch_add(1, std::memory_order_relaxed);
+  status_class_[cls].inc();
 }
 
 std::string QueryDaemon::metrics_json() const {
   const auto state = current();
+
+  // Snapshot the registry values once; the keys and nesting below are the
+  // pre-registry JSON shape, byte for byte.  requests_total is derived:
+  // every routed request lands in exactly one endpoint counter and every
+  // rejected parse in parse_failures, which is precisely what the old
+  // requests_total atomic counted.
+  std::array<std::uint64_t, kEndpointCount> per_endpoint{};
+  std::uint64_t routed = 0;
+  for (std::size_t i = 0; i < kEndpointCount; ++i) {
+    per_endpoint[i] = endpoint_requests_[i].value();
+    routed += per_endpoint[i];
+  }
+  const std::uint64_t parse_failures = parse_failures_.value();
+  const auto latency = request_latency_.snapshot();
+
   JsonWriter json;
   json.begin_object();
   json.key("epoch").value(state->epoch);
@@ -399,25 +450,26 @@ std::string QueryDaemon::metrics_json() const {
   json.key("snapshot_format_version").value(state->index.format_version());
   json.key("snapshot_bytes").value(state->index.snapshot_bytes());
   json.key("mapped_bytes").value(state->index.mapped_bytes());
-  json.key("requests_total").value(requests_total_.load(std::memory_order_relaxed));
-  json.key("parse_failures").value(parse_failures_.load(std::memory_order_relaxed));
+  json.key("requests_total").value(routed + parse_failures);
+  json.key("parse_failures").value(parse_failures);
 
   json.key("by_endpoint").begin_object();
   for (std::size_t i = 0; i < kEndpointCount; ++i) {
-    json.key(endpoint_name(i)).value(by_endpoint_[i].load(std::memory_order_relaxed));
+    json.key(endpoint_name(i)).value(per_endpoint[i]);
   }
   json.end_object();
 
   json.key("by_status").begin_object();
   static constexpr const char* kClasses[] = {"2xx", "3xx", "4xx", "5xx"};
   for (std::size_t i = 0; i < 4; ++i) {
-    json.key(kClasses[i]).value(by_status_class_[i].load(std::memory_order_relaxed));
+    json.key(kClasses[i]).value(status_class_[i].value());
   }
   json.end_object();
 
-  // Cumulative-style histogram bounds: bucket i counts requests whose
-  // handling took <= 2^i microseconds (exclusive log2 buckets, not
-  // Prometheus-cumulative; the sum of counts is the routed request count).
+  // Bucket i counts requests whose serving took <= 2^i microseconds
+  // (exclusive log2 buckets, not Prometheus-cumulative; the sum of counts
+  // is the number of requests served over a socket — see the recording
+  // point in daemon.hpp).
   json.key("latency_us").begin_object();
   json.key("bounds").begin_array();
   for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
@@ -426,16 +478,16 @@ std::string QueryDaemon::metrics_json() const {
   json.end_array();
   json.key("counts").begin_array();
   for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
-    json.value(latency_[i].load(std::memory_order_relaxed));
+    json.value(latency.counts[i]);
   }
   json.end_array();
-  json.key("overflow").value(latency_[kLatencyBuckets].load(std::memory_order_relaxed));
+  json.key("overflow").value(latency.overflow);
   json.end_object();
 
   json.key("reloads").begin_object();
-  json.key("ok").value(reloads_ok_.load(std::memory_order_relaxed));
-  json.key("failed").value(reloads_failed_.load(std::memory_order_relaxed));
-  json.key("last_us").value(last_reload_us_.load(std::memory_order_relaxed));
+  json.key("ok").value(reloads_ok_.value());
+  json.key("failed").value(reloads_failed_.value());
+  json.key("last_us").value(static_cast<std::uint64_t>(last_reload_us_.value()));
   json.end_object();
 
   json.end_object();

@@ -30,13 +30,32 @@
 //     state serving (the error is reported in the 503 body and
 //     /v1/metrics, which also records the reload's duration in µs).
 //
-// Endpoints (all bodies application/json, shapes in server/render.hpp):
+// Endpoints (JSON bodies unless noted, shapes in server/render.hpp):
 //   GET  /v1/link/<a>/<b>    oriented rel_v4 / rel_v6 / hybrid for one link
 //   GET  /v1/neighbors/<asn> full neighbor list with both planes
 //   GET  /v1/summary         dataset / coverage / valley / hybrid counters
 //   GET  /v1/healthz         liveness + current epoch
-//   GET  /v1/metrics         request counts, latency histogram, epoch
+//   GET  /v1/metrics         request counts, latency histogram, epoch (JSON)
+//   GET  /metrics            Prometheus text exposition of the process-wide
+//                            obs::MetricsRegistry (daemon, reload, thread
+//                            pool, snapshot, ingest — everything)
 //   POST /v1/reload          reload the snapshot file, swap on success
+//
+// Telemetry lives in obs::MetricsRegistry::global(); /v1/metrics and
+// /metrics are two renderings of the same counters, so they can never
+// disagree.  Recording points, fixed deliberately:
+//
+//   - Request/status counters increment in handle(), after route() returns —
+//     so a metrics body rendered *inside* route() never counts its own
+//     request, whichever exposition format asked.
+//   - The latency histogram is recorded at exactly one point for every
+//     endpoint: in the connection pump, after the response is fully
+//     serialized and before the socket write.  Serialization is our work
+//     and belongs in the measurement; socket write time measures the peer's
+//     read behaviour, not us, and recording before the write guarantees a
+//     client that reads its response and then scrapes sees its own request
+//     (read-your-writes).  Socketless handle() calls (tests, the routing
+//     bench) therefore record no latency sample — nothing was served.
 #pragma once
 
 #include <atomic>
@@ -46,7 +65,9 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "obs/metrics.hpp"
 #include "server/http.hpp"
 #include "snapshot/query.hpp"
 #include "snapshot/snapshot.hpp"
@@ -126,7 +147,7 @@ class QueryDaemon {
   /// One pump slice: drain buffered bytes, answer complete requests, poll
   /// one tick for more.  Yield = nothing readable yet, give the worker up.
   PumpResult pump(Connection& conn);
-  void record(std::size_t endpoint, int status, std::uint64_t micros);
+  void record(std::size_t endpoint, int status);
   HttpResponse route(const HttpRequest& request, std::size_t& endpoint);
 
   // Endpoint slots for the metrics counters.
@@ -148,19 +169,27 @@ class QueryDaemon {
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
   std::atomic<bool> reload_requested_{false};
+  // lint: allow(adhoc-atomic-counter) lifecycle state, not telemetry —
+  // stop() spins on it to quiesce, so it must survive a registry reset;
+  // the htor_http_active_connections gauge polls it via callback
   std::atomic<std::size_t> active_connections_{0};
 
-  // Metrics: request counters by endpoint and status class, plus a log2
-  // latency histogram in microseconds (final bucket is the overflow).
-  static constexpr std::size_t kLatencyBuckets = 16;
-  std::array<std::atomic<std::uint64_t>, kEndpointCount> by_endpoint_{};
-  std::array<std::atomic<std::uint64_t>, 4> by_status_class_{};  // 2xx,3xx,4xx,5xx
-  std::array<std::atomic<std::uint64_t>, kLatencyBuckets + 1> latency_{};
-  std::atomic<std::uint64_t> requests_total_{0};
-  std::atomic<std::uint64_t> parse_failures_{0};
-  std::atomic<std::uint64_t> reloads_ok_{0};
-  std::atomic<std::uint64_t> reloads_failed_{0};
-  std::atomic<std::uint64_t> last_reload_us_{0};
+  // Handles into MetricsRegistry::global() — resolved once at construction
+  // so the request path never does a name lookup.  The JSON /v1/metrics
+  // body and the Prometheus /metrics body both render from these (the JSON
+  // shape is unchanged from when the daemon owned raw atomics).
+  static constexpr std::size_t kLatencyBuckets = obs::Histogram::kBuckets;
+  std::array<obs::Counter, kEndpointCount> endpoint_requests_;
+  std::array<obs::Counter, 4> status_class_;  // 2xx,3xx,4xx,5xx
+  obs::Histogram request_latency_;
+  obs::Counter parse_failures_;
+  obs::Counter reloads_ok_;
+  obs::Counter reloads_failed_;
+  obs::Gauge last_reload_us_;
+  /// Polled gauges (epoch, active connections, pool queue depth / executed
+  /// tasks).  Declared last: destroyed first, so no scrape can reach a
+  /// callback after the members it reads are gone.
+  std::vector<obs::CallbackMetric> polled_;
 };
 
 }  // namespace htor::server

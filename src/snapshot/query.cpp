@@ -2,12 +2,35 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "snapshot/reader.hpp"
 #include "snapshot/writer.hpp"
 #include "util/bytes.hpp"
 #include "util/mmap_file.hpp"
 
 namespace htor::snapshot {
+
+namespace {
+
+/// Count one open attempt; failures (missing file, probe/validate rejection,
+/// decode error) bump the failure counter before the exception continues to
+/// the caller — the daemon's reload counters stay, this is the layer below.
+struct OpenScope {
+  bool ok = false;
+
+  explicit OpenScope(const char* mode) : mode_(mode) {}
+  ~OpenScope() {
+    auto& registry = obs::MetricsRegistry::global();
+    registry.counter("htor_snapshot_opens_total", {{"mode", mode_}}).inc();
+    if (!ok) registry.counter("htor_snapshot_open_failures_total", {{"mode", mode_}}).inc();
+  }
+
+ private:
+  const char* mode_;
+};
+
+}  // namespace
 
 QueryIndex::QueryIndex(std::shared_ptr<const MappedSnapshot> image,
                        std::uint32_t source_version, std::uint64_t file_bytes)
@@ -19,26 +42,38 @@ QueryIndex::QueryIndex(const Snapshot& snap)
 }
 
 QueryIndex QueryIndex::open(const std::string& path) {
+  OBS_SPAN("snapshot.open");
+  OpenScope scope("eager");
   std::vector<std::uint8_t> bytes = load_bytes(path);
   const std::uint64_t file_bytes = bytes.size();
   const std::uint32_t version = Reader::probe(bytes).version;
   if (version == 2) {
-    return {MappedSnapshot::from_bytes(std::move(bytes)), version, file_bytes};
+    QueryIndex index{MappedSnapshot::from_bytes(std::move(bytes)), version, file_bytes};
+    scope.ok = true;
+    return index;
   }
   // v1: eager decode, then re-encode as an in-memory v2 image.
   const Snapshot snap = Reader::decode(bytes);
-  return {MappedSnapshot::from_bytes(Writer::encode(snap)), version, file_bytes};
+  QueryIndex index{MappedSnapshot::from_bytes(Writer::encode(snap)), version, file_bytes};
+  scope.ok = true;
+  return index;
 }
 
 QueryIndex QueryIndex::open_mapped(const std::string& path) {
+  OBS_SPAN("snapshot.open");
+  OpenScope scope("mapped");
   MmapFile file(path);
   const std::uint64_t file_bytes = file.size();
   const std::uint32_t version = Reader::probe(file.data()).version;
   if (version == 2) {
-    return {MappedSnapshot::from_map(std::move(file)), version, file_bytes};
+    QueryIndex index{MappedSnapshot::from_map(std::move(file)), version, file_bytes};
+    scope.ok = true;
+    return index;
   }
   const Snapshot snap = Reader::decode(file.data());
-  return {MappedSnapshot::from_bytes(Writer::encode(snap)), version, file_bytes};
+  QueryIndex index{MappedSnapshot::from_bytes(Writer::encode(snap)), version, file_bytes};
+  scope.ok = true;
+  return index;
 }
 
 std::optional<QueryIndex::LinkInfo> QueryIndex::lookup(Asn a, Asn b) const {

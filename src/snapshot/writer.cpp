@@ -7,6 +7,8 @@
 #include <filesystem>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "snapshot/layout.hpp"
 #include "util/bytes.hpp"
 
@@ -305,10 +307,16 @@ std::vector<std::uint8_t> Writer::encode_versioned(const Snapshot& snap,
 }
 
 void Writer::write_file(const Snapshot& snap, const std::string& path) {
+  OBS_SPAN("snapshot.write");
   const std::vector<std::uint8_t> bytes = encode(snap);
+  obs::MetricsRegistry::global().counter("htor_snapshot_writes_total").inc();
+  obs::MetricsRegistry::global().counter("htor_snapshot_write_bytes_total").inc(bytes.size());
   // Write to a sibling temp file, then rename over the target: a reader (or
   // a daemon holding an mmap of the old file) never observes a half-written
   // snapshot, and the old inode keeps serving existing views.
+  // lint: allow(adhoc-atomic-counter) temp-name uniquifier for the
+  // rename-into-place protocol, not telemetry — it must stay collision-free
+  // even if the registry is reset
   static std::atomic<unsigned> counter{0};
   const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
                           std::to_string(counter.fetch_add(1, std::memory_order_relaxed));

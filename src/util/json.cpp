@@ -119,4 +119,243 @@ std::string JsonWriter::str() const {
   return out_;
 }
 
+bool JsonValue::as_bool() const {
+  if (type_ != Type::Bool) throw InvalidArgument("JsonValue: not a bool");
+  return bool_;
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  if (type_ != Type::Uint) throw InvalidArgument("JsonValue: not an integer");
+  return uint_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::String) throw InvalidArgument("JsonValue: not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (type_ != Type::Array) throw InvalidArgument("JsonValue: not an array");
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::as_object() const {
+  if (type_ != Type::Object) throw InvalidArgument("JsonValue: not an object");
+  return object_;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const auto& members = as_object();
+  const auto it = members.find(std::string(key));
+  if (it == members.end()) {
+    throw InvalidArgument("JsonValue: no member '" + std::string(key) + "'");
+  }
+  return it->second;
+}
+
+bool JsonValue::contains(std::string_view key) const {
+  return type_ == Type::Object && object_.count(std::string(key)) != 0;
+}
+
+/// Recursive-descent parser over the string subset documented on
+/// JsonValue::parse.  One instance per parse call; position state lives in
+/// the members, errors carry the byte offset.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue run() {
+    JsonValue root = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing bytes after the root value");
+    return root;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  void expect_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      fail("invalid literal");
+    }
+    pos_ += literal.size();
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    switch (peek()) {
+      case 'n': expect_literal("null"); return JsonValue{};
+      case 't': {
+        expect_literal("true");
+        JsonValue v;
+        v.type_ = JsonValue::Type::Bool;
+        v.bool_ = true;
+        return v;
+      }
+      case 'f': {
+        expect_literal("false");
+        JsonValue v;
+        v.type_ = JsonValue::Type::Bool;
+        v.bool_ = false;
+        return v;
+      }
+      case '"': {
+        JsonValue v;
+        v.type_ = JsonValue::Type::String;
+        v.string_ = parse_string();
+        return v;
+      }
+      case '[': return parse_array(depth);
+      case '{': return parse_object(depth);
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_number() {
+    const char first = peek();
+    if (first < '0' || first > '9') fail("unexpected character");
+    std::uint64_t value = 0;
+    std::size_t digits = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      const std::uint64_t digit = static_cast<std::uint64_t>(text_[pos_] - '0');
+      if (value > (UINT64_MAX - digit) / 10) fail("integer overflow");
+      value = value * 10 + digit;
+      ++pos_;
+      ++digits;
+    }
+    if (digits > 1 && first == '0') fail("leading zero");
+    if (pos_ < text_.size()) {
+      const char next = text_[pos_];
+      if (next == '.' || next == 'e' || next == 'E') {
+        fail("fractional numbers are not supported");
+      }
+    }
+    JsonValue v;
+    v.type_ = JsonValue::Type::Uint;
+    v.uint_ = value;
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 't': out.push_back('\t'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'u': {
+          // Only the \u00XX range JsonWriter::quote emits; anything above
+          // would need UTF-8 re-encoding this subset deliberately omits.
+          std::uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size()) fail("unterminated \\u escape");
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<std::uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<std::uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<std::uint32_t>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          if (code > 0xff) fail("\\u escapes above 0xff are not supported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    expect('[');
+    JsonValue v;
+    v.type_ = JsonValue::Type::Array;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array_.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      const char c = peek();
+      if (c == ']') {
+        ++pos_;
+        return v;
+      }
+      expect(',');
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    expect('{');
+    JsonValue v;
+    v.type_ = JsonValue::Type::Object;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      if (!v.object_.emplace(std::move(key), parse_value(depth + 1)).second) {
+        fail("duplicate object key");
+      }
+      skip_whitespace();
+      const char c = peek();
+      if (c == '}') {
+        ++pos_;
+        return v;
+      }
+      expect(',');
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(std::string_view text) { return JsonParser(text).run(); }
+
 }  // namespace htor

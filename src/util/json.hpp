@@ -1,5 +1,7 @@
 // Minimal deterministic JSON writer shared by the CLI's --json output and
-// the query daemon's HTTP responses.
+// the query daemon's HTTP responses, plus a strict parser for reading such
+// documents back (config-sized inputs: trace files, test assertions on
+// daemon responses — not a streaming decoder for bulk data).
 //
 // The writer emits compact JSON (no whitespace) in exactly the order the
 // caller makes calls, so the same sequence of values always produces the
@@ -14,6 +16,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -55,6 +59,50 @@ class JsonWriter {
   bool need_comma_ = false;   // a value/key at this position needs a ',' first
   bool after_key_ = false;    // the previous token was key(); a value must follow
   bool done_ = false;         // the root value is complete
+};
+
+/// Parsed JSON value tree.  Covers the subset JsonWriter emits — null, bool,
+/// non-negative integers, strings, arrays, objects — which is exactly what
+/// the project's own documents contain.  Object member order is not
+/// preserved (storage is a std::map); the writer is the order-deterministic
+/// half of the pair.
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t { Null, Bool, Uint, String, Array, Object };
+
+  JsonValue() = default;
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::Null; }
+
+  /// Typed accessors throw InvalidArgument on a type mismatch, so test code
+  /// fails with a message instead of reading a moved-from member.
+  bool as_bool() const;
+  std::uint64_t as_uint() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::map<std::string, JsonValue>& as_object() const;
+
+  /// Object member lookup; throws InvalidArgument when not an object or the
+  /// key is absent.  `contains` is the non-throwing probe.
+  const JsonValue& at(std::string_view key) const;
+  bool contains(std::string_view key) const;
+
+  /// Parse a complete JSON document.  Strict: the whole input must be one
+  /// value (plus surrounding whitespace), nesting is capped at 64 levels,
+  /// and anything outside the supported subset — negative or fractional
+  /// numbers, \uXXXX escapes above 0xff — throws ParseError.
+  static JsonValue parse(std::string_view text);
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  std::uint64_t uint_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
 };
 
 }  // namespace htor

@@ -25,6 +25,11 @@ std::size_t ThreadPool::hardware_threads() {
   return n == 0 ? 1 : n;
 }
 
+std::size_t ThreadPool::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
 void ThreadPool::post(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -43,6 +48,10 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Count before running: the increment is sequenced before the
+    // packaged_task fulfils its future, so a caller that has waited on a
+    // future is guaranteed to observe its task in executed().
+    executed_.fetch_add(1, std::memory_order_relaxed);
     task();  // packaged_task captures exceptions into the future
   }
 }

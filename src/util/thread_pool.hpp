@@ -8,8 +8,10 @@
 // task surface at future.get() on the caller's thread.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -39,6 +41,21 @@ class ThreadPool {
   /// Best guess at the machine's thread count (never 0).
   static std::size_t hardware_threads();
 
+  /// Tasks currently waiting in the queue (not the ones being executed).
+  /// A point-in-time reading for telemetry — with live producers the value
+  /// is stale the moment it returns; after every submitted future has been
+  /// waited, it is exactly 0.
+  std::size_t queued() const;
+
+  /// Tasks run over the pool's lifetime, inline ones included.  The count
+  /// is bumped as a task *starts*, sequenced before its future is
+  /// fulfilled: once every submitted future has been waited, executed()
+  /// deterministically equals the submission count (and queued() is 0, so
+  /// the pool is provably drained — the observability gauges expose both).
+  std::uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
   /// Schedule `fn` and return its future.  With no workers the task runs
   /// immediately on the calling thread; the future is already ready.
   template <typename Fn>
@@ -47,6 +64,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> future = task->get_future();
     if (workers_.empty()) {
+      executed_.fetch_add(1, std::memory_order_relaxed);
       (*task)();
     } else {
       post([task] { (*task)(); });
@@ -60,9 +78,10 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;  // mutable: queued() is a const observer
   std::condition_variable cv_;
   bool stop_ = false;
+  std::atomic<std::uint64_t> executed_{0};
 };
 
 }  // namespace htor

@@ -99,5 +99,94 @@ TEST(JsonWriter, MisuseThrows) {
   }
 }
 
+// ------------------------------------------------------------ parser
+//
+// JsonValue::parse reads back exactly the subset JsonWriter emits; it
+// exists so tests can assert on structure (Chrome traces, daemon bodies)
+// instead of substring-matching.  Strictness is the point: everything the
+// writer cannot produce is rejected with a ParseError naming the offset.
+
+TEST(JsonParser, RoundTripsWriterOutput) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("n").value(std::uint64_t{18446744073709551615u});
+  json.key("s").value("a\"b\\c\nd");
+  json.key("t").value(true);
+  json.key("list").begin_array();
+  json.value(std::uint64_t{1});
+  json.value(std::uint64_t{2});
+  json.end_array();
+  json.end_object();
+
+  const JsonValue v = JsonValue::parse(json.str());
+  EXPECT_EQ(v.at("n").as_uint(), 18446744073709551615u);
+  EXPECT_EQ(v.at("s").as_string(), "a\"b\\c\nd");
+  EXPECT_TRUE(v.at("t").as_bool());
+  ASSERT_EQ(v.at("list").as_array().size(), 2u);
+  EXPECT_EQ(v.at("list").as_array()[1].as_uint(), 2u);
+  EXPECT_TRUE(v.contains("n"));
+  EXPECT_FALSE(v.contains("absent"));
+}
+
+TEST(JsonParser, WhitespaceAndNesting) {
+  const JsonValue v = JsonValue::parse("  { \"a\" : [ 1 , { \"b\" : [ ] } ] }\n");
+  EXPECT_EQ(v.at("a").as_array()[0].as_uint(), 1u);
+  EXPECT_TRUE(v.at("a").as_array()[1].at("b").as_array().empty());
+}
+
+TEST(JsonParser, ScalarRoots) {
+  EXPECT_EQ(JsonValue::parse("42").as_uint(), 42u);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+}
+
+TEST(JsonParser, RejectsOutsideTheSubset) {
+  // Not emitted by JsonWriter, so not accepted: negative, fractional,
+  // exponent, leading zeros, bare words, high \u escapes.
+  EXPECT_THROW(JsonValue::parse("-1"), ParseError);
+  EXPECT_THROW(JsonValue::parse("1.5"), ParseError);
+  EXPECT_THROW(JsonValue::parse("1e3"), ParseError);
+  EXPECT_THROW(JsonValue::parse("01"), ParseError);
+  EXPECT_THROW(JsonValue::parse("nul"), ParseError);
+  EXPECT_THROW(JsonValue::parse("\"\\u0100\""), ParseError);
+  // 2^64 overflows uint64.
+  EXPECT_THROW(JsonValue::parse("18446744073709551616"), ParseError);
+}
+
+TEST(JsonParser, RejectsMalformedDocuments) {
+  EXPECT_THROW(JsonValue::parse(""), ParseError);
+  EXPECT_THROW(JsonValue::parse("{"), ParseError);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1,}"), ParseError);
+  EXPECT_THROW(JsonValue::parse("[1 2]"), ParseError);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), ParseError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), ParseError);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1} trailing"), ParseError);
+  // Duplicate keys are ambiguous; the writer never emits them.
+  EXPECT_THROW(JsonValue::parse("{\"a\":1,\"a\":2}"), ParseError);
+  // Raw control characters must be escaped.
+  EXPECT_THROW(JsonValue::parse("\"a\nb\""), ParseError);
+}
+
+TEST(JsonParser, DepthIsCapped) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_THROW(JsonValue::parse(deep), ParseError);
+  // 60 levels is within the 64-level cap.
+  std::string ok;
+  for (int i = 0; i < 60; ++i) ok += '[';
+  for (int i = 0; i < 60; ++i) ok += ']';
+  EXPECT_NO_THROW(JsonValue::parse(ok));
+}
+
+TEST(JsonParser, TypeMismatchAccessorsThrow) {
+  const JsonValue v = JsonValue::parse("{\"a\":1}");
+  EXPECT_THROW(v.as_array(), InvalidArgument);
+  EXPECT_THROW(v.at("a").as_string(), InvalidArgument);
+  EXPECT_THROW(v.at("missing"), InvalidArgument);
+  EXPECT_THROW(v.at("a").at("x"), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace htor

@@ -57,6 +57,48 @@ TEST(ThreadPool, ZeroMeansHardware) {
   EXPECT_GE(pool.concurrency(), 1u);
 }
 
+// The pool's observability accessors: executed() counts completed tasks in
+// both worker and inline modes, and after a blocking shard_map_reduce the
+// queue has drained back to zero (every submitted shard was consumed — the
+// htor_threadpool_queue_depth gauge reads 0 between requests).
+TEST(ThreadPool, QueueDrainsToZeroAfterShardMapReduce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.queued(), 0u);
+  EXPECT_EQ(pool.executed(), 0u);
+
+  std::vector<int> data(997);
+  std::iota(data.begin(), data.end(), 1);
+  const long total = core::shard_map_reduce(
+      pool, data.size(),
+      [&data](const core::ShardRange& r) {
+        long sum = 0;
+        for (std::size_t i = r.begin; i < r.end; ++i) sum += data[i];
+        return sum;
+      },
+      0L, [](long& acc, long part) { acc += part; });
+
+  EXPECT_EQ(total, 997L * 998 / 2);
+  EXPECT_EQ(pool.queued(), 0u);
+  // Every shard task ran on the pool (shard count = kCensusShards plan for
+  // 997 items; at least one per worker, at most one per item).
+  EXPECT_GE(pool.executed(), 4u);
+  const auto after_reduce = pool.executed();
+
+  auto f = pool.submit([] {});
+  f.get();
+  EXPECT_EQ(pool.executed(), after_reduce + 1);
+  EXPECT_EQ(pool.queued(), 0u);
+}
+
+TEST(ThreadPool, InlineModeCountsExecutedTasks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.executed(), 0u);
+  pool.submit([] {}).get();
+  pool.submit([] {}).get();
+  EXPECT_EQ(pool.executed(), 2u);
+  EXPECT_EQ(pool.queued(), 0u);
+}
+
 // ----------------------------------------------------------- shard planner
 
 TEST(ShardRanges, CoversRangeExactlyOnceInOrder) {

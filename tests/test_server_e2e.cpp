@@ -28,16 +28,19 @@
 #include <fstream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/hybrid.hpp"
+#include "obs/metrics.hpp"
 #include "server/daemon.hpp"
 #include "server/render.hpp"
 #include "snapshot/query.hpp"
 #include "snapshot/reader.hpp"
 #include "snapshot/writer.hpp"
+#include "util/json.hpp"
 
 namespace htor::server {
 namespace {
@@ -168,6 +171,9 @@ snapshot::Snapshot make_snapshot(bool flavor_a) {
 class ServerE2E : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Daemon telemetry lives in the process-global registry; zero it so each
+    // test's count assertions see only its own daemon's requests.
+    obs::MetricsRegistry::global().reset_values();
     snap_path_ = (std::filesystem::temp_directory_path() /
                   ("htor_server_e2e_" + std::to_string(::getpid()) + ".snap"))
                      .string();
@@ -519,6 +525,81 @@ TEST_F(ServerE2E, MetricsCountRequests) {
   ASSERT_TRUE(metrics.ok);
   EXPECT_NE(metrics.body.find("\"link\":5"), std::string::npos);
   EXPECT_NE(metrics.body.find("\"other\":1"), std::string::npos);
+}
+
+/// The value of one sample line ("name{labels} 42") in a Prometheus text
+/// exposition, or nullopt when the sample is absent.
+std::optional<std::uint64_t> prom_value(const std::string& text, const std::string& sample) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(sample + " ", 0) == 0) {
+      return std::stoull(line.substr(sample.size() + 1));
+    }
+  }
+  return std::nullopt;
+}
+
+// GET /metrics (Prometheus) and GET /v1/metrics (JSON) render the same
+// registry, so every counter must agree.  The only wrinkle is
+// self-observation: each metrics body is rendered inside route(), before its
+// own request is counted, so the later scrape sees exactly one more
+// metrics-endpoint request (the earlier scrape) than the earlier body does.
+TEST_F(ServerE2E, PrometheusAndJsonMetricsAgree) {
+  for (int i = 0; i < 5; ++i) fetch(port_, "GET", "/v1/link/1/2");
+  fetch(port_, "GET", "/v1/nope");
+  fetch(port_, "POST", "/v1/reload");
+
+  const auto json_resp = fetch(port_, "GET", "/v1/metrics");
+  ASSERT_TRUE(json_resp.ok);
+  const auto prom_resp = fetch(port_, "GET", "/metrics");
+  ASSERT_TRUE(prom_resp.ok);
+  EXPECT_EQ(prom_resp.status, 200);
+  EXPECT_NE(prom_resp.head.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(prom_resp.body.find("# TYPE htor_http_requests_total counter"), std::string::npos);
+
+  const auto json = JsonValue::parse(json_resp.body);
+  const auto& by_endpoint = json.at("by_endpoint");
+  const std::string req = "htor_http_requests_total";
+
+  // Counters the two metrics fetches themselves never touch: identical.
+  EXPECT_EQ(prom_value(prom_resp.body, req + "{endpoint=\"link\"}"),
+            by_endpoint.at("link").as_uint());
+  EXPECT_EQ(by_endpoint.at("link").as_uint(), 5u);
+  EXPECT_EQ(prom_value(prom_resp.body, req + "{endpoint=\"other\"}"),
+            by_endpoint.at("other").as_uint());
+  EXPECT_EQ(prom_value(prom_resp.body, req + "{endpoint=\"reload\"}"),
+            by_endpoint.at("reload").as_uint());
+  EXPECT_EQ(prom_value(prom_resp.body, "htor_reloads_total{result=\"ok\"}"),
+            json.at("reloads").at("ok").as_uint());
+  EXPECT_EQ(prom_value(prom_resp.body, "htor_reloads_total{result=\"failed\"}"),
+            json.at("reloads").at("failed").as_uint());
+  EXPECT_EQ(prom_value(prom_resp.body, "htor_http_parse_failures_total"),
+            json.at("parse_failures").as_uint());
+
+  // Self-observation offset: the Prometheus scrape ran after the JSON
+  // request was fully recorded, so it sees it — and nothing else happened in
+  // between.
+  EXPECT_EQ(prom_value(prom_resp.body, req + "{endpoint=\"metrics\"}"),
+            by_endpoint.at("metrics").as_uint() + 1);
+
+  // Latency histograms: the JSON body excludes its own (not-yet-recorded)
+  // request; the scrape includes it.
+  std::uint64_t json_latency_total = json.at("latency_us").at("overflow").as_uint();
+  for (const auto& count : json.at("latency_us").at("counts").as_array()) {
+    json_latency_total += count.as_uint();
+  }
+  EXPECT_EQ(prom_value(prom_resp.body, "htor_http_request_duration_us_count"),
+            json_latency_total + 1);
+
+  // The process-wide registry reaches the exposition too: thread-pool and
+  // snapshot metrics are present alongside the daemon's.
+  EXPECT_NE(prom_resp.body.find("htor_threadpool_queue_depth{pool=\"serve\"}"),
+            std::string::npos);
+  EXPECT_NE(prom_resp.body.find("htor_threadpool_tasks_executed_total{pool=\"serve\"}"),
+            std::string::npos);
+  EXPECT_NE(prom_resp.body.find("htor_snapshot_opens_total"), std::string::npos);
+  EXPECT_NE(prom_resp.body.find("htor_daemon_epoch"), std::string::npos);
 }
 
 }  // namespace

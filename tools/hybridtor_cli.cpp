@@ -45,6 +45,12 @@
 // straight into the RIB, so peak memory stays one batch deep instead of
 // ~3× the decoded RIB.  `--no-stream` selects the legacy load-all path;
 // both paths produce byte-identical reports.
+//
+// `census --stats` appends an end-of-run stage-timing table (ingest,
+// decode, apply, census sub-stages, snapshot write) from the obs span
+// histograms; `--trace-out <file>` additionally captures every stage span
+// and writes a Chrome-trace-format JSON file that chrome://tracing and
+// ui.perfetto.dev open directly.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -65,6 +71,8 @@
 #include "mrt/reader.hpp"
 #include "mrt/stream_reader.hpp"
 #include "mrt/writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rpsl/object.hpp"
 #include "server/daemon.hpp"
 #include "server/render.hpp"
@@ -130,7 +138,7 @@ int usage() {
   std::cerr << "usage:\n"
                "  hybridtor generate <outdir> [seed]\n"
                "  hybridtor census [--jobs N] [--no-stream] [--snapshot-out <file>]\n"
-               "                   <rib.mrt> <irr.txt>\n"
+               "                   [--stats] [--trace-out <file>] <rib.mrt> <irr.txt>\n"
                "  hybridtor inspect <rib.mrt>\n"
                "  hybridtor diff <a.snap> <b.snap>\n"
                "  hybridtor query [--json] <snap> <asn> [asn2]\n"
@@ -198,8 +206,33 @@ std::uint64_t rib_epoch(const std::string& mrt_path) {
   return 0;
 }
 
+/// End-of-run stage timing table from the span histograms: one row per
+/// pipeline stage that ran, in stage-name order (dotted names group
+/// sub-stages under their parent lexically).
+void print_stage_stats(std::ostream& out) {
+  const auto rows =
+      obs::MetricsRegistry::global().histogram_family(obs::kStageDurationMetric);
+  out << "\nstage timings:\n";
+  Table t({"stage", "calls", "total us", "mean us"});
+  for (const auto& row : rows) {
+    // Labels render as {stage="<name>"}; recover the name.
+    constexpr std::string_view kPrefix = "{stage=\"";
+    std::string stage = row.labels;
+    if (stage.rfind(kPrefix, 0) == 0 && stage.size() >= kPrefix.size() + 2) {
+      stage = stage.substr(kPrefix.size(), stage.size() - kPrefix.size() - 2);
+    }
+    const std::uint64_t calls = row.values.total();
+    if (calls == 0) continue;
+    t.row({stage, std::to_string(calls), std::to_string(row.values.sum),
+           std::to_string(row.values.sum / calls)});
+  }
+  t.print(out);
+}
+
 int cmd_census(const std::string& mrt_path, const std::string& irr_path, std::size_t jobs,
-               bool streaming, const std::optional<std::string>& snapshot_out) {
+               bool streaming, const std::optional<std::string>& snapshot_out, bool stats,
+               const std::optional<std::string>& trace_out) {
+  if (trace_out) obs::TraceCollector::global().enable();
   // Fail fast on unreadable or truncated input: no partial census is ever
   // printed — the single diagnostic below names the file and the reason.
   ThreadPool pool(jobs);
@@ -260,6 +293,13 @@ int cmd_census(const std::string& mrt_path, const std::string& irr_path, std::si
     std::cout << "\nwrote snapshot " << *snapshot_out << " (v4 links "
               << snap.rels_v4.size() << ", v6 links " << snap.rels_v6.size() << ", hybrids "
               << snap.hybrids.size() << ")\n";
+  }
+  if (stats) print_stage_stats(std::cout);
+  if (trace_out) {
+    auto& collector = obs::TraceCollector::global();
+    collector.write_file(*trace_out);
+    std::cout << "\nwrote trace " << *trace_out << " (" << collector.event_count()
+              << " events; load in chrome://tracing or ui.perfetto.dev)\n";
   }
   return 0;
 }
@@ -499,12 +539,30 @@ int main(int argc, char** argv) {
   std::optional<std::size_t> jobs;
   bool streaming = true;
   bool json = false;
+  bool stats = false;
   std::optional<std::string> snapshot_out;
+  std::optional<std::string> trace_out;
   std::optional<std::uint16_t> port;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--no-stream") {
       streaming = false;
+      continue;
+    }
+    if (arg == "--stats") {
+      stats = true;
+      continue;
+    }
+    if (arg == "--trace-out" || arg.rfind("--trace-out=", 0) == 0) {
+      if (arg.size() > 11 && arg[11] == '=') {
+        trace_out = arg.substr(12);
+      } else if (i + 1 < argc) {
+        trace_out = argv[++i];
+      }
+      if (!trace_out || trace_out->empty()) {
+        std::cerr << "error: --trace-out requires a non-empty path\n";
+        return 2;
+      }
       continue;
     }
     if (arg == "--json") {
@@ -567,6 +625,14 @@ int main(int argc, char** argv) {
     std::cerr << "error: --snapshot-out is only valid with the census subcommand\n";
     return 2;
   }
+  if (stats && cmd != "census") {
+    std::cerr << "error: --stats is only valid with the census subcommand\n";
+    return 2;
+  }
+  if (trace_out && cmd != "census") {
+    std::cerr << "error: --trace-out is only valid with the census subcommand\n";
+    return 2;
+  }
   if (json && cmd != "query") {
     std::cerr << "error: --json is only valid with the query subcommand\n";
     return 2;
@@ -586,7 +652,8 @@ int main(int argc, char** argv) {
       return cmd_generate(args[1], seed);
     }
     if (cmd == "census" && args.size() == 3) {
-      return cmd_census(args[1], args[2], jobs.value_or(1), streaming, snapshot_out);
+      return cmd_census(args[1], args[2], jobs.value_or(1), streaming, snapshot_out, stats,
+                        trace_out);
     }
     if (cmd == "inspect" && args.size() == 2) return cmd_inspect(args[1]);
     if (cmd == "diff" && args.size() == 3) return cmd_diff(args[1], args[2]);

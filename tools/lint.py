@@ -29,6 +29,17 @@ enforces them over ``src/`` and ``tools/``:
                     ordering stay in one place, and raw views over mapped
                     bytes stay confined to the v2 layout module where every
                     access is offset-validated first.
+  adhoc-atomic-counter
+                    a non-bool ``std::atomic<...>`` outside src/obs and
+                    util/thread_pool.  Telemetry counters belong in
+                    obs::MetricsRegistry (sharded, named, scraped by both
+                    metrics endpoints) — a raw atomic is invisible to
+                    /metrics and regrows the pre-registry drift between
+                    counted and reported values.  Atomic *flags*
+                    (``std::atomic<bool>``) are lifecycle state, not
+                    telemetry, and stay fine; a non-counter integral atomic
+                    (e.g. a uniquifier that must survive registry resets)
+                    documents itself with an allow comment.
   pragma-once       every header starts its include guard with
                     ``#pragma once``.
   namespace         every file under src/ opens a ``namespace htor`` (or a
@@ -67,6 +78,10 @@ import tempfile
 BYTES_HOME = re.compile(r"(^|/)src/util/bytes\.(hpp|cpp)$")
 THREAD_HOME = re.compile(r"(^|/)src/util/thread_pool\.(hpp|cpp)$")
 MMAP_HOME = re.compile(r"(^|/)src/(util/mmap_file|snapshot/layout[^/]*)\.(hpp|cpp)$")
+# Where raw integral atomics are the implementation, not ad-hoc telemetry:
+# the metrics registry's own cells and the thread pool's executed counter
+# (exposed to the registry via a polled callback).
+OBS_HOME = re.compile(r"(^|/)src/(obs/[^/]+|util/thread_pool)\.(hpp|cpp)$")
 
 ALLOW_RE = re.compile(r"//\s*lint:\s*allow\(([\w-]+)\)\s*(.*)$")
 LINE_COMMENT_RE = re.compile(r"//.*$")
@@ -103,6 +118,10 @@ def _not_thread_home(path):
 
 def _not_mmap_home(path):
     return not MMAP_HOME.search(path)
+
+
+def _not_obs_home(path):
+    return not OBS_HOME.search(path)
 
 
 LINE_RULES = [
@@ -154,6 +173,17 @@ LINE_RULES = [
         "snapshot/layout*; go through the MmapFile RAII wrapper or justify "
         "with an allow comment",
         _not_mmap_home,
+    ),
+    (
+        "adhoc-atomic-counter",
+        # Any std::atomic<...> whose argument is not bool: counters belong
+        # in obs::MetricsRegistry, and the remaining legitimate uses (flag
+        # enums, uniquifiers) are rare enough to carry an allow comment.
+        re.compile(r"\bstd::atomic\s*<\s*(?!bool\s*>)"),
+        "non-bool std::atomic outside src/obs and util/thread_pool; count "
+        "through obs::MetricsRegistry so /metrics sees it, or justify with "
+        "an allow comment",
+        _not_obs_home,
     ),
 ]
 
@@ -281,6 +311,14 @@ SELF_TEST_CASES = [
         {"raw-mmap"},
     ),
     (
+        "ad-hoc atomic counter outside the registry",
+        "src/server/bad_counter.cpp",
+        "namespace htor {\n"
+        "struct S { std::atomic<std::uint64_t> requests_{0}; };\n"
+        "}  // namespace htor\n",
+        {"adhoc-atomic-counter"},
+    ),
+    (
         "header without pragma once",
         "src/util/bad_header.hpp",
         "namespace htor {\nint x();\n}  // namespace htor\n",
@@ -327,6 +365,22 @@ SELF_TEST_CASES = [
         "void* map_it(unsigned long n, int fd) {\n"
         "  return mmap(nullptr, n, 1, 2, fd, 0);\n"
         "}\n"
+        "}  // namespace htor\n",
+        set(),
+    ),
+    (
+        "atomic flags are lifecycle state, not telemetry",
+        "src/server/good_flag.cpp",
+        "namespace htor {\n"
+        "struct S { std::atomic<bool> stop_{false}; };\n"
+        "}  // namespace htor\n",
+        set(),
+    ),
+    (
+        "the registry's own cells are the one home for raw atomics",
+        "src/obs/good_cells.cpp",
+        "namespace htor {\n"
+        "struct Cell { std::atomic<std::uint64_t> value{0}; };\n"
         "}  // namespace htor\n",
         set(),
     ),
