@@ -16,6 +16,9 @@
 #include "snapshot/writer.hpp"
 #include "util/bytes.hpp"
 #include "gen/internet.hpp"
+#include "gen/updates.hpp"
+#include "live/incremental_census.hpp"
+#include "live/pipeline.hpp"
 #include "mrt/reader.hpp"
 #include "mrt/rib_view.hpp"
 #include "mrt/stream_reader.hpp"
@@ -305,6 +308,86 @@ void BM_DictionaryMining(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * irr.size()));
 }
 BENCHMARK(BM_DictionaryMining);
+
+// --- live pipeline -----------------------------------------------------------
+
+/// Deterministic BGP4MP update stream over the shared dataset, built once:
+/// decoded messages for the apply bench plus an on-disk MRT file for the
+/// end-to-end pipeline bench (PID-suffixed, removed at exit).
+struct LiveBits {
+  std::vector<std::pair<std::uint32_t, mrt::Bgp4mpMessage>> messages;
+  std::string updates_path;
+};
+
+const LiveBits& live_bits() {
+  static const LiveBits instance = [] {
+    LiveBits out;
+    gen::UpdateScheduleParams params;
+    params.events = 2000;
+    mrt::MrtWriter writer;
+    for (const auto& rec : gen::synthesize_updates(bits().rib, params)) {
+      writer.write(rec);
+      out.messages.emplace_back(rec.timestamp, std::get<mrt::Bgp4mpMessage>(rec.body));
+    }
+    out.updates_path = "/tmp/hybridtor_bench_updates." + std::to_string(::getpid()) + ".mrt";
+    writer.save(out.updates_path);
+    return out;
+  }();
+  static const bool cleanup = [] {
+    std::atexit([] { std::remove(live_bits().updates_path.c_str()); });
+    return true;
+  }();
+  (void)cleanup;
+  return instance;
+}
+
+/// Per-message cost of the live tier: one BGP4MP update folded into the
+/// evolving RIB, the path/link refcounts, and the community-vote tallies —
+/// the O(path length) work `follow` pays per update, with no epoch
+/// recompute.  Cycling the schedule keeps the census in steady churn (the
+/// announce/replace/duplicate/withdraw mix of the stream) rather than
+/// growing without bound.
+void BM_LiveApply(benchmark::State& state) {
+  core::InferenceConfig config;
+  live::IncrementalCensus census(bits().rib, bits().dict, config, "bench", 1281052800u);
+  const auto& messages = live_bits().messages;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [timestamp, msg] = messages[i % messages.size()];
+    census.apply(timestamp, msg);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["routes"] = static_cast<double>(census.stats().routes);
+}
+BENCHMARK(BM_LiveApply);
+
+/// End-to-end reader -> decoder -> apply stream over the updates file, no
+/// epoch recomputes: updates applied per second through the full
+/// three-stage pipeline.  Arg is the ring capacity — the /2-over-/1024
+/// ratio prices running every inter-stage handoff at maximum backpressure
+/// (output is identical either way; only the stall count changes).
+void BM_PipelineThroughput(benchmark::State& state) {
+  const auto& updates = live_bits();
+  const std::size_t update_count = updates.messages.size();
+  core::InferenceConfig config;
+  ThreadPool pool(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    live::IncrementalCensus census(bits().rib, bits().dict, config, "bench", 1281052800u);
+    state.ResumeTiming();
+    live::PipelineConfig pipeline_config;
+    pipeline_config.ring_capacity = static_cast<std::size_t>(state.range(0));
+    pipeline_config.final_epoch = false;
+    live::Pipeline pipeline(census, pipeline_config);
+    auto result = pipeline.run({updates.updates_path}, pool);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * update_count));
+  state.counters["updates"] = static_cast<double>(update_count);
+  state.counters["ring_capacity"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_PipelineThroughput)->Arg(2)->Arg(1024)->UseRealTime();
 
 // --- snapshot store ----------------------------------------------------------
 

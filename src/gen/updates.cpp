@@ -1,0 +1,146 @@
+#include "gen/updates.hpp"
+
+#include <array>
+#include <utility>
+
+#include "bgp/as_path.hpp"
+#include "bgp/message.hpp"
+#include "util/rng.hpp"
+
+namespace htor::gen {
+
+namespace {
+
+/// Deterministic per-peer addressing: 10.x.y.z / 2001:db8::asn derived from
+/// the peer's ASN, collector side fixed.  The writer requires both sides of
+/// a BGP4MP header to share a family, so each route family gets its own pair.
+IpAddress peer_address(Asn asn, IpVersion af) {
+  if (af == IpVersion::V4) {
+    return IpAddress::v4(0x0a000000u | (static_cast<std::uint32_t>(asn) & 0x00ffffffu));
+  }
+  std::array<std::uint8_t, 16> bytes{0x20, 0x01, 0x0d, 0xb8};
+  bytes[12] = static_cast<std::uint8_t>(asn >> 24);
+  bytes[13] = static_cast<std::uint8_t>(asn >> 16);
+  bytes[14] = static_cast<std::uint8_t>(asn >> 8);
+  bytes[15] = static_cast<std::uint8_t>(asn);
+  return IpAddress::v6(bytes);
+}
+
+mrt::Record wrap(std::uint32_t timestamp, const mrt::ObservedRoute& route, Asn collector,
+                 bgp::UpdateMessage update) {
+  mrt::Bgp4mpMessage msg;
+  msg.peer_as = route.peer_asn;
+  msg.local_as = collector;
+  msg.peer_ip = peer_address(route.peer_asn, route.af);
+  msg.local_ip = peer_address(collector, route.af);
+  msg.message = std::move(update);
+  msg.as4 = true;
+  return mrt::Record{timestamp, std::move(msg)};
+}
+
+mrt::Record announce_record(std::uint32_t timestamp, const mrt::ObservedRoute& route,
+                            Asn collector) {
+  bgp::PathAttributes attrs;
+  attrs.origin = bgp::Origin::Igp;
+  attrs.as_path = bgp::AsPath::sequence(route.as_path);
+  attrs.local_pref = route.local_pref;
+  attrs.communities = route.communities;
+  bgp::UpdateMessage update;
+  if (route.af == IpVersion::V4) {
+    attrs.next_hop = peer_address(route.peer_asn, IpVersion::V4);
+    update.attrs = std::move(attrs);
+    update.nlri.push_back(route.prefix);
+  } else {
+    update = bgp::make_ipv6_update(attrs, peer_address(route.peer_asn, IpVersion::V6),
+                                   {route.prefix});
+  }
+  return wrap(timestamp, route, collector, std::move(update));
+}
+
+mrt::Record withdraw_record(std::uint32_t timestamp, const mrt::ObservedRoute& route,
+                            Asn collector) {
+  bgp::UpdateMessage update;
+  if (route.af == IpVersion::V4) {
+    update.withdrawn.push_back(route.prefix);
+  } else {
+    bgp::MpUnreachNlri unreach;
+    unreach.withdrawn.push_back(route.prefix);
+    update.attrs.mp_unreach = std::move(unreach);
+  }
+  return wrap(timestamp, route, collector, std::move(update));
+}
+
+enum Event : std::size_t { kWithdraw = 0, kReannounce, kMutate, kFlap };
+
+}  // namespace
+
+std::vector<mrt::Record> synthesize_updates(const mrt::ObservedRib& base,
+                                            const UpdateScheduleParams& params) {
+  Rng rng(params.seed);
+  // The schedule tracks the RIB state it implies, so it only ever withdraws
+  // held routes and re-announces withdrawn ones — replay is always clean.
+  std::vector<mrt::ObservedRoute> live = base.routes();
+  std::vector<mrt::ObservedRoute> gone;
+  std::vector<mrt::Record> out;
+  out.reserve(params.events + params.events / 4);
+
+  const std::array<double, 4> weights{params.withdraw_weight, params.reannounce_weight,
+                                      params.mutate_weight, params.flap_weight};
+
+  for (std::size_t i = 0; i < params.events; ++i) {
+    const std::uint32_t ts =
+        params.start_timestamp + static_cast<std::uint32_t>(i) * params.timestamp_step;
+    std::size_t event = rng.weighted(weights);
+    if (live.empty()) event = kReannounce;
+    if (event == kReannounce && gone.empty()) event = live.empty() ? kWithdraw : kMutate;
+    if (live.empty() && gone.empty()) break;  // degenerate input
+
+    switch (static_cast<Event>(event)) {
+      case kWithdraw: {
+        const std::size_t idx = rng.index(live.size());
+        out.push_back(withdraw_record(ts, live[idx], params.collector_asn));
+        gone.push_back(std::move(live[idx]));
+        live[idx] = std::move(live.back());
+        live.pop_back();
+        break;
+      }
+      case kReannounce: {
+        const std::size_t idx = rng.index(gone.size());
+        out.push_back(announce_record(ts, gone[idx], params.collector_asn));
+        live.push_back(std::move(gone[idx]));
+        gone[idx] = std::move(gone.back());
+        gone.pop_back();
+        break;
+      }
+      case kMutate: {
+        mrt::ObservedRoute& route = live[rng.index(live.size())];
+        switch (rng.index(route.communities.empty() ? 2 : 3)) {
+          case 0:  // origin prepend: changes the stored path, not its links
+            if (route.as_path.empty()) {
+              route.local_pref = rng.uniform(50, 150);
+              break;
+            }
+            route.as_path.push_back(route.as_path.back());
+            break;
+          case 1:
+            route.local_pref = rng.uniform(50, 150);
+            break;
+          default:  // strip communities: retracts this route's votes
+            route.communities.clear();
+            break;
+        }
+        out.push_back(announce_record(ts, route, params.collector_asn));
+        break;
+      }
+      case kFlap: {
+        const mrt::ObservedRoute& route = live[rng.index(live.size())];
+        out.push_back(withdraw_record(ts, route, params.collector_asn));
+        out.push_back(announce_record(ts, route, params.collector_asn));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace htor::gen

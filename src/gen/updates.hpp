@@ -1,0 +1,56 @@
+// Deterministic BGP4MP update-stream synthesis against a generated RIB.
+//
+// The live pipeline's tests and benches need churn with a known ground
+// truth: every update must be *consistent* with the RIB it mutates (withdraw
+// what is held, re-announce what was withdrawn, flap real routes), and the
+// whole schedule must be a pure function of the seed so the incremental-vs-
+// batch equivalence oracle can replay it anywhere.  Event mix:
+//
+//   withdraw      remove a currently held route
+//   re-announce   bring back a previously withdrawn route verbatim
+//   mutate        re-announce a held route with changed attributes
+//                 (origin prepend, LocPrf shift, or communities dropped) —
+//                 this is what makes community votes retract and links flip
+//   flap          withdraw + immediate re-announce (two records)
+//
+// The generator tracks the RIB state it implies, so replaying the stream
+// over the seed RIB can never withdraw a missing route or duplicate-announce
+// — apply-path counters stay clean for tests that assert on them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mrt/record.hpp"
+#include "mrt/rib_view.hpp"
+
+namespace htor::gen {
+
+struct UpdateScheduleParams {
+  std::uint64_t seed = 7;
+  /// Number of schedule events (a flap emits two records, so the record
+  /// count may exceed this).
+  std::size_t events = 1000;
+
+  // Event-mix weights (normalized internally; the remainder after the
+  // first three is the flap weight).
+  double withdraw_weight = 0.30;
+  double reannounce_weight = 0.25;
+  double mutate_weight = 0.30;
+  double flap_weight = 0.15;
+
+  /// Timestamp of the first record; each event advances by `timestamp_step`
+  /// (both records of a flap share the event's timestamp).
+  std::uint32_t start_timestamp = 1281052800;  // the seed RIB's epoch
+  std::uint32_t timestamp_step = 1;
+
+  /// The collector's own AS, stamped as BGP4MP local_as.
+  Asn collector_asn = 64500;
+};
+
+/// Synthesize a BGP4MP MESSAGE_AS4 stream over `base`.  Deterministic:
+/// identical (base, params) always produce identical records.
+std::vector<mrt::Record> synthesize_updates(const mrt::ObservedRib& base,
+                                            const UpdateScheduleParams& params);
+
+}  // namespace htor::gen

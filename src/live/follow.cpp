@@ -1,0 +1,104 @@
+#include "live/follow.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "rpsl/object.hpp"
+#include "snapshot/query.hpp"
+#include "util/error.hpp"
+
+namespace htor::live {
+
+namespace {
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::ostringstream out;
+  out << in.rdbuf();
+  if (in.bad()) throw Error("read from '" + path + "' failed");
+  return out.str();
+}
+
+rpsl::CommunityDictionary load_dictionary(const std::string& irr_path) {
+  return rpsl::mine_dictionary(rpsl::parse_objects(read_text_file(irr_path)));
+}
+
+IncrementalCensus build_census(const std::string& rib_path, ThreadPool& pool,
+                               const rpsl::CommunityDictionary& dict,
+                               const core::InferenceConfig& inference) {
+  return IncrementalCensus(core::load_rib(rib_path, pool), dict, inference, rib_path);
+}
+
+}  // namespace
+
+FollowService::FollowService(const std::string& rib_path, const std::string& irr_path,
+                             std::vector<std::string> update_paths, FollowConfig config)
+    : update_paths_(std::move(update_paths)),
+      config_(config),
+      census_pool_(config.jobs),
+      dict_(load_dictionary(irr_path)),
+      census_(build_census(rib_path, census_pool_, dict_, config.inference)),
+      // Epoch 0 is the seed RIB's census: the daemon is never up without a
+      // servable index, exactly like the snapshot-file constructor.
+      daemon_(snapshot::QueryIndex(census_.recompute(census_pool_).snap), config.daemon),
+      pipeline_(census_, config.pipeline) {}
+
+FollowService::~FollowService() { stop(); }
+
+void FollowService::start() {
+  if (started_) return;
+  daemon_.start();
+  started_ = true;
+  // lint: allow(naked-thread) dedicated pipeline driver; joined in stop()
+  // and wait() before any member it touches is destroyed
+  runner_ = std::thread([this] { run_pipeline(); });
+}
+
+void FollowService::run_pipeline() {
+  try {
+    PipelineResult result = pipeline_.run(update_paths_, census_pool_, [this](const EpochReport& epoch) {
+      // Build the index outside any daemon lock, then swap: the publish
+      // cost the daemon's readers see is one pointer assignment.
+      snapshot::QueryIndex index(epoch.snap);
+      daemon_.swap_index(std::move(index));
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++epochs_published_;
+    });
+    std::lock_guard<std::mutex> lock(mutex_);
+    result_ = result;
+    finished_ = true;
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pipeline_error_ = std::current_exception();
+    finished_ = true;
+  }
+}
+
+void FollowService::wait() {
+  if (runner_.joinable()) runner_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pipeline_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(pipeline_error_, nullptr);
+    std::rethrow_exception(error);
+  }
+}
+
+void FollowService::stop() {
+  pipeline_.request_stop();
+  if (runner_.joinable()) runner_.join();
+  if (started_) daemon_.stop();
+}
+
+std::uint64_t FollowService::epochs_published() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epochs_published_;
+}
+
+PipelineResult FollowService::result() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return result_;
+}
+
+}  // namespace htor::live

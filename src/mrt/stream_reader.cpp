@@ -163,6 +163,18 @@ std::optional<RawFramedRecord> MrtStreamReader::next() {
   return rec;
 }
 
+std::optional<RawFramedRecord> MrtStreamReader::next_update() {
+  while (auto raw = next()) {
+    const bool is_update =
+        raw->type == static_cast<std::uint16_t>(MrtType::Bgp4mp) &&
+        (raw->subtype == static_cast<std::uint16_t>(Bgp4mpSubtype::Message) ||
+         raw->subtype == static_cast<std::uint16_t>(Bgp4mpSubtype::MessageAs4));
+    if (is_update) return raw;
+    ++skipped_;  // skipped by header alone; the body is never decoded
+  }
+  return std::nullopt;
+}
+
 ObservedRib rib_from_stream(const std::string& path, ThreadPool& pool,
                             std::size_t batch_records) {
   OBS_SPAN("ingest");

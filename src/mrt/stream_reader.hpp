@@ -48,9 +48,19 @@ class MrtStreamReader {
   /// that overruns the file; throws Error on I/O failure.
   std::optional<RawFramedRecord> next();
 
+  /// Next BGP4MP MESSAGE / MESSAGE_AS4 frame, or nullopt at end-of-file.
+  /// Frames of any other type or subtype (RIB snapshots, state changes,
+  /// unknown types) are skipped by header alone — never decoded — and
+  /// counted in updates_skipped().  This is the iteration mode the live
+  /// update pipeline reads with, so a mixed dump+updates file works without
+  /// a second ad-hoc scanner.  Framing errors throw exactly as next() does.
+  std::optional<RawFramedRecord> next_update();
+
   std::uint64_t records_read() const { return records_; }
   std::uint64_t bytes_read() const { return bytes_; }
   std::uint64_t file_size() const { return file_size_; }
+  /// Frames next_update() passed over because they were not BGP4MP messages.
+  std::uint64_t updates_skipped() const { return skipped_; }
 
   static constexpr std::size_t kDefaultIoBuffer = 256 * 1024;
 
@@ -61,6 +71,7 @@ class MrtStreamReader {
   std::uint64_t file_size_ = 0;
   std::uint64_t bytes_ = 0;  ///< consumed so far (headers + bodies)
   std::uint64_t records_ = 0;
+  std::uint64_t skipped_ = 0;
 };
 
 /// Records per decode batch.  Fixed (never derived from the pool size) so

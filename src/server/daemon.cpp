@@ -79,7 +79,18 @@ QueryDaemon::QueryDaemon(std::string snapshot_path, DaemonConfig config)
       pool_(connection_workers(config.jobs)) {
   // Eager initial load: a daemon never starts without a servable index.
   state_ = std::make_shared<const ServingState>(snapshot::QueryIndex::open(snapshot_path_), 1);
+  register_metrics();
+}
 
+QueryDaemon::QueryDaemon(snapshot::QueryIndex index, DaemonConfig config)
+    : config_(config), pool_(connection_workers(config.jobs)) {
+  // No backing file: the index was built in memory (serve --follow) and
+  // future states arrive through swap_index().
+  state_ = std::make_shared<const ServingState>(std::move(index), 1);
+  register_metrics();
+}
+
+void QueryDaemon::register_metrics() {
   auto& registry = obs::MetricsRegistry::global();
   for (std::size_t i = 0; i < kEndpointCount; ++i) {
     endpoint_requests_[i] =
@@ -179,8 +190,23 @@ void QueryDaemon::stop() {
   }
 }
 
+void QueryDaemon::swap_index(snapshot::QueryIndex index) {
+  // Same discipline as reload()'s swap: the expensive part (building the
+  // index) happened on the caller's thread; under the lock there is only a
+  // pointer assignment.  In-flight requests keep the state they pinned.
+  std::lock_guard<std::mutex> reload_lock(reload_mutex_);
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  state_ = std::make_shared<const ServingState>(std::move(index), state_->epoch + 1);
+}
+
 bool QueryDaemon::reload() {
   std::lock_guard<std::mutex> reload_lock(reload_mutex_);
+  if (snapshot_path_.empty()) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    last_reload_error_ = "daemon serves a live in-memory index; no snapshot file to reload";
+    reloads_failed_.inc();
+    return false;
+  }
   const auto t0 = Clock::now();
   std::shared_ptr<const ServingState> fresh;
   try {

@@ -91,6 +91,12 @@ class QueryDaemon {
   /// Loads `snapshot_path` eagerly — a snapshot that does not decode fails
   /// construction, never a half-started daemon.
   QueryDaemon(std::string snapshot_path, DaemonConfig config = {});
+
+  /// Serve an in-memory index with no backing file (the serve --follow
+  /// path: epochs arrive via swap_index(), not reload()).  reload() on such
+  /// a daemon fails gracefully with an explanatory error.
+  explicit QueryDaemon(snapshot::QueryIndex index, DaemonConfig config = {});
+
   ~QueryDaemon();
 
   QueryDaemon(const QueryDaemon&) = delete;
@@ -114,6 +120,12 @@ class QueryDaemon {
   /// Async-signal-safe reload request (the SIGHUP handler calls this); the
   /// acceptor performs the reload on its next tick.
   void request_reload() { reload_requested_.store(true, std::memory_order_relaxed); }
+
+  /// Swap a fresh index in (the live-follow publish path): the epoch
+  /// advances and new requests see the new index immediately, while
+  /// in-flight requests finish on the state they pinned — exactly the
+  /// reload() swap discipline, minus the file read.
+  void swap_index(snapshot::QueryIndex index);
 
   std::uint64_t epoch() const;
   std::string last_reload_error() const;
@@ -140,6 +152,7 @@ class QueryDaemon {
   struct Connection;
   enum class PumpResult { Finished, Yield };
 
+  void register_metrics();
   std::shared_ptr<const ServingState> current() const;
   void accept_loop();
   /// Run `conn` until it finishes or yields; on yield, re-enqueue it.

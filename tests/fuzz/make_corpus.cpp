@@ -19,6 +19,7 @@
 #include "core/hybrid.hpp"
 #include "core/snapshot_bridge.hpp"
 #include "gen/internet.hpp"
+#include "gen/updates.hpp"
 #include "mrt/reader.hpp"
 #include "mrt/rib_view.hpp"
 #include "mrt/writer.hpp"
@@ -120,6 +121,36 @@ void make_snapshot_seeds(const std::filesystem::path& dir) {
   write_file(dir / "census_v2.snap", snapshot::Writer::encode(snap));
 }
 
+// ----------------------------------------------------------------- updates
+
+void make_update_seeds(const std::filesystem::path& dir) {
+  const auto net = gen::SyntheticInternet::generate(gen::small_params(7));
+  const auto rib = net.collect();
+
+  // Seed 1: a mixed announce/withdraw/mutate/flap schedule over the small
+  // synthetic RIB — both families, MP_REACH/MP_UNREACH v6 encodings, real
+  // communities for the vote-retraction paths.
+  {
+    gen::UpdateScheduleParams params;
+    params.seed = 7;
+    params.events = 40;
+    mrt::MrtWriter writer;
+    for (const auto& record : gen::synthesize_updates(rib, params)) writer.write(record);
+    write_file(dir / "updates_mixed.mrt", writer.data());
+  }
+
+  // Seed 2: a minimal handful of events so truncation mutations probe every
+  // framing and attribute offset of a single update.
+  {
+    gen::UpdateScheduleParams params;
+    params.seed = 3;
+    params.events = 6;
+    mrt::MrtWriter writer;
+    for (const auto& record : gen::synthesize_updates(rib, params)) writer.write(record);
+    write_file(dir / "updates_minimal.mrt", writer.data());
+  }
+}
+
 // -------------------------------------------------------------------- http
 
 void make_http_seeds(const std::filesystem::path& dir) {
@@ -147,12 +178,13 @@ int main(int argc, char** argv) {
   }
   const std::filesystem::path root = argv[1];
   try {
-    for (const char* sub : {"mrt", "snapshot", "http"}) {
+    for (const char* sub : {"mrt", "snapshot", "http", "updates"}) {
       std::filesystem::create_directories(root / sub);
     }
     make_mrt_seeds(root / "mrt");
     make_snapshot_seeds(root / "snapshot");
     make_http_seeds(root / "http");
+    make_update_seeds(root / "updates");
   } catch (const std::exception& e) {
     std::cerr << "fuzz_make_corpus: " << e.what() << "\n";
     return 1;

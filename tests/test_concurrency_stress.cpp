@@ -4,10 +4,13 @@
 // monotonic, every submitted task ran); their real job is to generate the
 // interleavings TSan needs to prove the absence of data races in the
 // daemon's hot-reload state swap, the connection pump's worker hand-off,
-// overlapping shard_map calls on one ThreadPool, and pool shutdown
-// ordering.  Removing the state_mutex_ lock around QueryDaemon's
-// shared_ptr swap makes DirectHandleStormRacesReload fail under TSan
-// within milliseconds (verified once by hand; see CHANGES.md for PR 6).
+// overlapping shard_map calls on one ThreadPool, pool shutdown ordering,
+// and — since the live subsystem landed — the SPSC ring's release/acquire
+// protocol, the live pipeline's cooperative shutdown, and serve --follow's
+// epoch swap_index() racing direct handle() storms.  Removing the
+// state_mutex_ lock around QueryDaemon's shared_ptr swap makes
+// DirectHandleStormRacesReload fail under TSan within milliseconds
+// (verified once by hand; see CHANGES.md for PR 6).
 //
 // Budgets are deliberately modest: the suite must stay fast enough for the
 // plain unit loop while still giving a sanitizer thousands of cross-thread
@@ -31,10 +34,17 @@
 
 #include "core/hybrid.hpp"
 #include "core/parallel.hpp"
+#include "gen/internet.hpp"
+#include "gen/updates.hpp"
+#include "live/follow.hpp"
+#include "live/pipeline.hpp"
+#include "mrt/writer.hpp"
+#include "rpsl/object.hpp"
 #include "server/daemon.hpp"
 #include "snapshot/query.hpp"
 #include "snapshot/snapshot.hpp"
 #include "snapshot/writer.hpp"
+#include "util/spsc_ring.hpp"
 #include "util/thread_pool.hpp"
 
 namespace htor {
@@ -397,6 +407,208 @@ TEST_F(ConcurrencyStress, StopWithIdleAndHalfOpenConnectionsQuiesces) {
   const auto elapsed = std::chrono::steady_clock::now() - t0;
   EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(), 10);
   for (int fd : fds) ::close(fd);
+}
+
+// --------------------------------------------------- live pipeline races
+
+// The tiny-ring contention case: capacity 2 forces producer and consumer to
+// collide on the same two slots for every element, so every push/pop pair
+// exercises the release/acquire handshake through a wraparound.  A third
+// thread scrapes occupancy() continuously — the /metrics ring-depth gauge
+// path — which must stay a benign approximate read: it may lag but can
+// never report more than capacity (tail is loaded before head, and head
+// only grows).
+TEST(SpscRingStress, CapacityTwoWraparoundUnderContention) {
+  constexpr std::uint64_t kCount = 30000;
+  SpscRing<std::uint64_t> ring(2);
+  std::atomic<bool> scrape_stop{false};
+  std::atomic<int> overshoots{0};
+
+  std::thread scraper([&ring, &scrape_stop, &overshoots] {
+    while (!scrape_stop.load(std::memory_order_acquire)) {
+      if (ring.occupancy() > ring.capacity()) {
+        overshoots.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::thread producer([&ring] {
+    for (std::uint64_t i = 0; i < kCount;) {
+      std::uint64_t value = i;
+      if (ring.try_push(value)) {
+        ++i;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    ring.close();
+  });
+
+  std::uint64_t next = 0;
+  int misordered = 0;
+  while (!ring.done()) {
+    std::uint64_t out = 0;
+    if (ring.try_pop(out)) {
+      if (out != next) ++misordered;
+      ++next;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  scrape_stop.store(true, std::memory_order_release);
+  scraper.join();
+
+  EXPECT_EQ(next, kCount);
+  EXPECT_EQ(misordered, 0);
+  EXPECT_EQ(overshoots.load(), 0);
+}
+
+/// On-disk inputs for the live-pipeline stress tests: seed RIB, IRR dump,
+/// and a deterministic update stream, built once per process.
+struct LiveStressWorld {
+  std::string dir;
+  std::string rib_path;
+  std::string irr_path;
+  std::string updates_path;
+  mrt::ObservedRib rib;
+  rpsl::CommunityDictionary dict;
+  std::size_t update_count = 0;
+};
+
+const LiveStressWorld& live_world() {
+  static const LiveStressWorld w = [] {
+    LiveStressWorld out;
+    out.dir = (std::filesystem::temp_directory_path() /
+               ("htor_stress_live_" + std::to_string(::getpid())))
+                  .string();
+    std::filesystem::create_directories(out.dir);
+    const auto net = gen::SyntheticInternet::generate(gen::small_params(7));
+    out.rib = net.collect();
+    out.dict = rpsl::mine_dictionary(rpsl::parse_objects(net.irr_dump()));
+
+    mrt::MrtWriter rib_writer;
+    for (const auto& rec : mrt::records_from_rib(out.rib, 1, "stress-live", 1281052800u)) {
+      rib_writer.write(rec);
+    }
+    out.rib_path = out.dir + "/rib.mrt";
+    rib_writer.save(out.rib_path);
+
+    out.irr_path = out.dir + "/irr.txt";
+    std::ofstream irr(out.irr_path);
+    irr << net.irr_dump();
+    irr.flush();
+
+    gen::UpdateScheduleParams params;
+    params.events = 1000;
+    const auto updates = gen::synthesize_updates(out.rib, params);
+    mrt::MrtWriter update_writer;
+    for (const auto& rec : updates) update_writer.write(rec);
+    out.updates_path = out.dir + "/updates.mrt";
+    update_writer.save(out.updates_path);
+    out.update_count = updates.size();
+    return out;
+  }();
+  return w;
+}
+
+// request_stop() arriving while all three stages are in flight: the flag is
+// polled by the reader's stalled push, the decoder's stalled push, and the
+// apply loop's pop, and run()'s join path must drain both rings without
+// deadlocking whatever the stages were doing when the flag flipped.
+// Capacity-2 rings keep the stages blocked on backpressure most of the time
+// (the hard case for shutdown: a stalled producer must still observe stop),
+// and the quadratically staggered delay walks the flag across stage states
+// from before-first-record to after-stream-end.
+TEST(LivePipelineStress, RequestStopRacesAllThreeStages) {
+  const auto& w = live_world();
+  core::InferenceConfig config;
+  config.threads = 1;
+  ThreadPool pool(2);
+
+  for (int round = 0; round < 8; ++round) {
+    live::IncrementalCensus census(w.rib, w.dict, config, "stress-live", 1281052800u);
+    live::PipelineConfig pipeline_config;
+    pipeline_config.ring_capacity = 2;
+    pipeline_config.epoch_every = 200;
+    live::Pipeline pipeline(census, pipeline_config);
+
+    std::atomic<bool> go{false};
+    std::thread stopper([&pipeline, &go, round] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::this_thread::sleep_for(std::chrono::microseconds(150 * round * round));
+      pipeline.request_stop();
+    });
+
+    std::uint64_t epochs_seen = 0;
+    go.store(true, std::memory_order_release);
+    const auto result = pipeline.run(
+        {w.updates_path}, pool, [&epochs_seen](const live::EpochReport&) { ++epochs_seen; });
+    stopper.join();
+
+    // Whether the run was cut short or completed, its books must balance:
+    // every applied message reached the census, every cut epoch reached the
+    // callback, and a run that was NOT stopped applied the whole stream.
+    EXPECT_EQ(result.epochs, epochs_seen) << "round " << round;
+    EXPECT_EQ(result.applied, census.applied()) << "round " << round;
+    EXPECT_LE(result.applied, w.update_count) << "round " << round;
+    if (!result.stopped) {
+      EXPECT_EQ(result.applied, w.update_count) << "round " << round;
+    }
+  }
+}
+
+// The serve --follow swap path: the pipeline thread publishes a fresh
+// QueryIndex through swap_index() on every cut epoch while reader threads
+// copy the serving state through handle().  Driven directly (no sockets) so
+// the readers spend all their time on the swap — the same shape as
+// DirectHandleStormRacesReload, but with the daemon's state replaced from
+// the pipeline thread instead of reload()'s file path.
+TEST(LivePipelineStress, FollowEpochSwapsRaceDirectHandleStorm) {
+  const auto& w = live_world();
+  live::FollowConfig config;
+  config.daemon.port = 0;
+  config.daemon.jobs = 2;
+  config.pipeline.epoch_every = 80;
+  config.pipeline.ring_capacity = 64;
+  config.jobs = 1;
+  live::FollowService service(w.rib_path, w.irr_path, {w.updates_path}, config);
+  service.start();
+
+  constexpr int kReaderThreads = 3;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaderThreads);
+  for (int t = 0; t < kReaderThreads; ++t) {
+    readers.emplace_back([&service, &stop, &failures, t] {
+      std::uint64_t last_epoch = 0;
+      for (int i = 0; !stop.load(std::memory_order_acquire); ++i) {
+        const auto& target = (i + t) % 3 == 0   ? "/v1/summary"
+                             : (i + t) % 3 == 1 ? "/v1/healthz"
+                                                : "/v1/metrics";
+        const auto resp = service.daemon().handle(get(target));
+        if (resp.status != 200) failures.fetch_add(1, std::memory_order_relaxed);
+        // Epoch swaps must look monotonic from any single reader.
+        const auto epoch = service.daemon().epoch();
+        if (epoch < last_epoch) failures.fetch_add(1, std::memory_order_relaxed);
+        last_epoch = epoch;
+      }
+    });
+  }
+
+  service.wait();  // stream exhausted; readers saw every swap go by
+  stop.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const auto result = service.result();
+  EXPECT_FALSE(result.stopped);
+  EXPECT_EQ(result.applied, w.update_count);
+  EXPECT_GE(service.epochs_published(), 2u);
+  EXPECT_EQ(service.daemon().epoch(), 1 + service.epochs_published());
+  service.stop();
 }
 
 // --------------------------------------------------- thread pool / parallel

@@ -1,0 +1,383 @@
+// Tests for the continuous-census subsystem (src/live/): BGP4MP apply
+// semantics on the live ObservedRib, the IncrementalCensus live tier against
+// the batch census, and the pipeline's equivalence oracle — every epoch's
+// snapshot is byte-identical to an independent sequential replay of the
+// same update prefix, at any ring capacity and any pool size.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+#include "bgp/message.hpp"
+#include "core/census_report.hpp"
+#include "core/snapshot_bridge.hpp"
+#include "gen/internet.hpp"
+#include "gen/updates.hpp"
+#include "live/incremental_census.hpp"
+#include "live/observed_rib.hpp"
+#include "live/pipeline.hpp"
+#include "mrt/writer.hpp"
+#include "rpsl/object.hpp"
+#include "snapshot/writer.hpp"
+
+namespace htor::live {
+namespace {
+
+constexpr std::uint32_t kSeedTimestamp = 1281052800u;
+constexpr char kSource[] = "live-test";
+
+/// Shared fixture: a small synthetic internet, its mined dictionary, and a
+/// deterministic update schedule over its collector RIB.
+struct World {
+  mrt::ObservedRib rib;
+  rpsl::CommunityDictionary dict;
+  std::vector<mrt::Record> updates;
+};
+
+const World& world() {
+  static const World w = [] {
+    const auto net = gen::SyntheticInternet::generate(gen::small_params(7));
+    World out;
+    out.rib = net.collect();
+    out.dict = rpsl::mine_dictionary(rpsl::parse_objects(net.irr_dump()));
+    gen::UpdateScheduleParams params;
+    params.events = 400;
+    out.updates = gen::synthesize_updates(out.rib, params);
+    return out;
+  }();
+  return w;
+}
+
+std::string write_updates_file(const std::vector<mrt::Record>& records, const std::string& name) {
+  mrt::MrtWriter writer;
+  for (const auto& record : records) writer.write(record);
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  EXPECT_TRUE(out);
+  const auto& bytes = writer.data();
+  out.write(reinterpret_cast<const char*>(bytes.data()), static_cast<long>(bytes.size()));
+  return path;
+}
+
+// ------------------------------------------------------- message builders
+
+mrt::Bgp4mpMessage wrap_update(Asn peer, bgp::UpdateMessage update) {
+  mrt::Bgp4mpMessage msg;
+  msg.peer_as = peer;
+  msg.local_as = 64500;
+  msg.peer_ip = IpAddress::parse("10.0.0.1");
+  msg.local_ip = IpAddress::parse("10.0.0.2");
+  msg.message = std::move(update);
+  return msg;
+}
+
+mrt::Bgp4mpMessage v4_announce(Asn peer, const std::string& prefix, std::vector<Asn> path,
+                               std::optional<std::uint32_t> local_pref = {}) {
+  bgp::UpdateMessage update;
+  update.attrs.origin = bgp::Origin::Igp;
+  update.attrs.as_path = bgp::AsPath::sequence(std::move(path));
+  update.attrs.next_hop = IpAddress::parse("10.0.0.1");
+  update.attrs.local_pref = local_pref;
+  update.nlri.push_back(Prefix::parse(prefix));
+  return wrap_update(peer, std::move(update));
+}
+
+mrt::Bgp4mpMessage v4_withdraw(Asn peer, const std::string& prefix) {
+  bgp::UpdateMessage update;
+  update.withdrawn.push_back(Prefix::parse(prefix));
+  return wrap_update(peer, std::move(update));
+}
+
+// --------------------------------------------------------- apply semantics
+
+TEST(ObservedRibApply, AnnounceReplaceDuplicateWithdrawCounters) {
+  ObservedRib rib;
+  rib.apply(v4_announce(65001, "10.1.0.0/16", {65001, 65002}));
+  EXPECT_EQ(rib.size(), 1u);
+  EXPECT_EQ(rib.stats().announced, 1u);
+
+  rib.apply(v4_announce(65001, "10.1.0.0/16", {65001, 65002}));
+  EXPECT_EQ(rib.stats().duplicates, 1u);
+  EXPECT_EQ(rib.size(), 1u);
+
+  rib.apply(v4_announce(65001, "10.1.0.0/16", {65001, 65002}, 120));
+  EXPECT_EQ(rib.stats().replaced, 1u);
+  EXPECT_EQ(rib.size(), 1u);
+
+  // Same prefix from a different peer is a distinct route.
+  rib.apply(v4_announce(65009, "10.1.0.0/16", {65009, 65002}));
+  EXPECT_EQ(rib.size(), 2u);
+
+  rib.apply(v4_withdraw(65001, "10.1.0.0/16"));
+  EXPECT_EQ(rib.stats().withdrawn, 1u);
+  EXPECT_EQ(rib.size(), 1u);
+
+  rib.apply(v4_withdraw(65001, "10.1.0.0/16"));
+  EXPECT_EQ(rib.stats().withdrawn_missing, 1u);
+  EXPECT_EQ(rib.size(), 1u);
+  EXPECT_EQ(rib.stats().messages, 6u);
+}
+
+TEST(ObservedRibApply, NonUpdateMessagesAreCountedAndIgnored) {
+  ObservedRib rib;
+  mrt::Bgp4mpMessage keepalive;
+  keepalive.peer_as = 65001;
+  keepalive.message = bgp::KeepaliveMessage{};
+  const auto delta = rib.apply(keepalive);
+  EXPECT_TRUE(delta.empty());
+  EXPECT_EQ(rib.stats().non_updates, 1u);
+  EXPECT_EQ(rib.stats().messages, 0u);
+}
+
+TEST(ObservedRibApply, WithdrawAndAnnounceOfSamePrefixAnnouncementWins) {
+  ObservedRib rib;
+  rib.apply(v4_announce(65001, "10.2.0.0/16", {65001, 65003}));
+  // One UPDATE listing the prefix both withdrawn and announced (RFC 4271:
+  // the announcement wins — withdraw first, then install).
+  bgp::UpdateMessage update;
+  update.withdrawn.push_back(Prefix::parse("10.2.0.0/16"));
+  update.attrs.origin = bgp::Origin::Igp;
+  update.attrs.as_path = bgp::AsPath::sequence({65001, 65004});
+  update.attrs.next_hop = IpAddress::parse("10.0.0.1");
+  update.nlri.push_back(Prefix::parse("10.2.0.0/16"));
+  const auto delta = rib.apply(wrap_update(65001, std::move(update)));
+  EXPECT_EQ(rib.size(), 1u);
+  ASSERT_EQ(delta.removed.size(), 1u);
+  ASSERT_EQ(delta.added.size(), 1u);
+  EXPECT_EQ(delta.removed[0].as_path, (std::vector<Asn>{65001, 65003}));
+  EXPECT_EQ(delta.added[0].as_path, (std::vector<Asn>{65001, 65004}));
+}
+
+TEST(ObservedRibApply, MissingAsPathThrowsWithoutMutating) {
+  ObservedRib rib;
+  rib.apply(v4_announce(65001, "10.3.0.0/16", {65001, 65002}));
+  const auto before = rib.materialize();
+
+  // Announce without an AS_PATH, which *also* withdraws the held route: the
+  // validation must reject the whole message before the withdraw runs.
+  bgp::UpdateMessage update;
+  update.withdrawn.push_back(Prefix::parse("10.3.0.0/16"));
+  update.nlri.push_back(Prefix::parse("10.4.0.0/16"));
+  EXPECT_THROW(rib.apply(wrap_update(65001, std::move(update))), DecodeError);
+
+  EXPECT_EQ(rib.size(), 1u);
+  EXPECT_EQ(rib.materialize().routes(), before.routes());
+  EXPECT_EQ(rib.stats().withdrawn, 0u);
+}
+
+TEST(ObservedRibApply, FamilyMismatchThrowsWithoutMutating) {
+  ObservedRib rib;
+  // A v6 prefix in the v4 NLRI field.
+  bgp::UpdateMessage update;
+  update.attrs.as_path = bgp::AsPath::sequence({65001, 65002});
+  update.nlri.push_back(Prefix::parse("2001:db8::/32"));
+  EXPECT_THROW(rib.apply(wrap_update(65001, std::move(update))), DecodeError);
+  // A v6 prefix in the v4 withdrawn field.
+  bgp::UpdateMessage withdraw;
+  withdraw.withdrawn.push_back(Prefix::parse("2001:db8::/32"));
+  EXPECT_THROW(rib.apply(wrap_update(65001, std::move(withdraw))), DecodeError);
+  EXPECT_EQ(rib.size(), 0u);
+}
+
+TEST(ObservedRibApply, SeedIsLastWinsPerKey) {
+  const World& w = world();
+  ObservedRib rib;
+  rib.seed(w.rib);
+  EXPECT_EQ(rib.size(), w.rib.size());  // the generator dedups per key upstream
+  EXPECT_EQ(rib.size_of(IpVersion::V4), w.rib.size_of(IpVersion::V4));
+  EXPECT_EQ(rib.size_of(IpVersion::V6), w.rib.size_of(IpVersion::V6));
+}
+
+// --------------------------------------------- independent replay oracle
+
+/// Applies the first `count` update records to the seed RIB with
+/// test-local logic (an insert-or-assign/erase map keyed like the live
+/// table), then runs the BATCH census over the result.  This shares no
+/// apply code with src/live/ — it is the ground truth the pipeline's
+/// epochs are measured against.
+std::vector<std::uint8_t> replay_reference(const World& w, std::size_t count,
+                                           ThreadPool& pool) {
+  std::map<RouteKey, mrt::ObservedRoute> table;
+  for (const auto& route : w.rib.routes()) {
+    table.insert_or_assign(RouteKey{route.af, route.prefix, route.peer_asn}, route);
+  }
+  std::uint32_t last_ts = kSeedTimestamp;
+  for (std::size_t i = 0; i < count && i < w.updates.size(); ++i) {
+    const auto& record = w.updates[i];
+    const auto& msg = std::get<mrt::Bgp4mpMessage>(record.body);
+    const auto& update = std::get<bgp::UpdateMessage>(msg.message);
+    for (const auto& p : update.withdrawn) {
+      table.erase(RouteKey{IpVersion::V4, p, msg.peer_as});
+    }
+    if (update.attrs.mp_unreach) {
+      for (const auto& p : update.attrs.mp_unreach->withdrawn) {
+        table.erase(RouteKey{IpVersion::V6, p, msg.peer_as});
+      }
+    }
+    const auto announce = [&](IpVersion af, const Prefix& p) {
+      mrt::ObservedRoute route;
+      route.af = af;
+      route.prefix = p;
+      route.peer_asn = msg.peer_as;
+      route.as_path = update.attrs.as_path.flatten();
+      route.local_pref = update.attrs.local_pref;
+      route.communities = update.attrs.communities;
+      table.insert_or_assign(RouteKey{af, p, msg.peer_as}, std::move(route));
+    };
+    for (const auto& p : update.nlri) announce(IpVersion::V4, p);
+    if (update.attrs.mp_reach) {
+      for (const auto& p : update.attrs.mp_reach->nlri) announce(IpVersion::V6, p);
+    }
+    last_ts = record.timestamp;
+  }
+
+  mrt::ObservedRib rib;
+  for (const auto& [key, route] : table) rib.add(route);
+  core::InferenceConfig config;
+  const auto report = core::run_census(rib, w.dict, config, pool);
+  return snapshot::Writer::encode(core::to_snapshot(report, kSource, last_ts));
+}
+
+TEST(IncrementalCensus, SeedEpochMatchesBatchCensus) {
+  const World& w = world();
+  ThreadPool pool(1);
+  core::InferenceConfig config;
+  IncrementalCensus census(w.rib, w.dict, config, kSource, kSeedTimestamp);
+  const auto epoch = census.recompute(pool);
+  EXPECT_EQ(epoch.applied, 0u);
+  EXPECT_EQ(epoch.last_timestamp, kSeedTimestamp);
+  EXPECT_EQ(snapshot::Writer::encode(epoch.snap), replay_reference(w, 0, pool))
+      << "epoch 0 must equal the batch census over the seed RIB";
+}
+
+// The acceptance matrix: every epoch the pipeline cuts — at ring capacity
+// 2 (maximal stage interleaving), 64, and the 1024 default, with the epoch
+// pool at 1 and 4 workers — is byte-identical to the independent replay of
+// the same update prefix.
+TEST(LivePipeline, EpochsMatchIndependentReplayAtAnyCapacityAndJobs) {
+  const World& w = world();
+  const std::string path = write_updates_file(w.updates, "live_equiv_updates.mrt");
+
+  // Ground truth, computed once per distinct epoch boundary.
+  std::map<std::uint64_t, std::vector<std::uint8_t>> reference;
+
+  for (const std::size_t capacity : {std::size_t{2}, std::size_t{64}, std::size_t{1024}}) {
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+      ThreadPool pool(jobs);
+      core::InferenceConfig config;
+      config.threads = jobs;
+      IncrementalCensus census(w.rib, w.dict, config, kSource, kSeedTimestamp);
+      PipelineConfig pipeline_config;
+      pipeline_config.ring_capacity = capacity;
+      pipeline_config.epoch_every = 150;
+      Pipeline pipeline(census, pipeline_config);
+
+      std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> epochs;
+      const auto result = pipeline.run({path}, pool, [&](const EpochReport& epoch) {
+        epochs.emplace_back(epoch.applied, snapshot::Writer::encode(epoch.snap));
+      });
+      ASSERT_FALSE(result.stopped);
+      ASSERT_EQ(result.applied, w.updates.size());
+      ASSERT_EQ(result.records, w.updates.size());
+      ASSERT_GE(epochs.size(), 2u) << "expected mid-stream epochs plus the final one";
+      ASSERT_EQ(epochs.back().first, w.updates.size());
+
+      ThreadPool reference_pool(1);
+      for (const auto& [applied, bytes] : epochs) {
+        auto it = reference.find(applied);
+        if (it == reference.end()) {
+          it = reference.emplace(applied, replay_reference(w, applied, reference_pool)).first;
+        }
+        EXPECT_EQ(bytes, it->second)
+            << "epoch at applied=" << applied << " diverged from the sequential replay"
+            << " (capacity=" << capacity << ", jobs=" << jobs << ")";
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// Live-tier counters equal the batch census on the final route set (with
+// Rosetta off: the live tier is community-only by contract).
+TEST(IncrementalCensus, LiveStatsMatchBatchCensusAfterStream) {
+  const World& w = world();
+  ThreadPool pool(1);
+  core::InferenceConfig config;
+  config.use_rosetta = false;
+  IncrementalCensus census(w.rib, w.dict, config, kSource, kSeedTimestamp);
+  for (const auto& record : w.updates) {
+    census.apply(record.timestamp, std::get<mrt::Bgp4mpMessage>(record.body));
+  }
+  ASSERT_EQ(census.applied(), w.updates.size());
+
+  const auto epoch = census.recompute(pool);
+  const auto& report = epoch.report;
+  const auto& stats = census.stats();
+
+  EXPECT_EQ(stats.routes, census.rib().size());
+  EXPECT_EQ(stats.v4_paths, report.v4_paths);
+  EXPECT_EQ(stats.v6_paths, report.v6_paths);
+  EXPECT_EQ(stats.v4_links, report.v4_links);
+  EXPECT_EQ(stats.v6_links, report.v6_links);
+  EXPECT_EQ(stats.dual_links, report.dual_links);
+  EXPECT_EQ(stats.links_with_votes_v4, report.inferred.community_v4.links_with_votes);
+  EXPECT_EQ(stats.links_with_votes_v6, report.inferred.community_v6.links_with_votes);
+  EXPECT_EQ(stats.conflicted_links_v4, report.inferred.community_v4.conflicted_links);
+  EXPECT_EQ(stats.conflicted_links_v6, report.inferred.community_v6.conflicted_links);
+  EXPECT_EQ(stats.typed_links_v4, report.inferred.community_v4.rels.size());
+  EXPECT_EQ(stats.typed_links_v6, report.inferred.community_v6.rels.size());
+  EXPECT_EQ(stats.total_votes, report.inferred.community_v4.total_votes +
+                                   report.inferred.community_v6.total_votes);
+  EXPECT_EQ(stats.hybrid_links, report.hybrids.hybrids.size());
+  EXPECT_EQ(census.live_rels(IpVersion::V4).size(),
+            report.inferred.community_v4.rels.size());
+  EXPECT_EQ(census.live_rels(IpVersion::V6).size(),
+            report.inferred.community_v6.rels.size());
+}
+
+// A malformed update mid-stream surfaces from apply() with the census (and
+// its RIB) exactly as before the bad message.
+TEST(IncrementalCensus, RejectedUpdateLeavesCensusUntouched) {
+  const World& w = world();
+  ThreadPool pool(1);
+  core::InferenceConfig config;
+  IncrementalCensus census(w.rib, w.dict, config, kSource, kSeedTimestamp);
+  const auto before = census.stats();
+  const auto size_before = census.rib().size();
+
+  bgp::UpdateMessage bad;  // announce with no AS_PATH
+  bad.nlri.push_back(Prefix::parse("10.99.0.0/16"));
+  EXPECT_THROW(census.apply(kSeedTimestamp + 1, wrap_update(65001, std::move(bad))),
+               DecodeError);
+
+  EXPECT_EQ(census.applied(), 0u);
+  EXPECT_EQ(census.rib().size(), size_before);
+  EXPECT_EQ(census.stats().routes, before.routes);
+  EXPECT_EQ(census.stats().total_votes, before.total_votes);
+  EXPECT_EQ(census.stats().v6_links, before.v6_links);
+}
+
+// Valley telemetry is monotonic and counts every announced route once.
+TEST(IncrementalCensus, ValleyTelemetryIsMonotonic) {
+  const World& w = world();
+  core::InferenceConfig config;
+  IncrementalCensus census(w.rib, w.dict, config, kSource, kSeedTimestamp);
+  const auto& stats = census.stats();
+  std::uint64_t last_total = stats.valley_free_seen + stats.valleys_seen +
+                             stats.incomplete_seen;
+  EXPECT_GT(last_total, 0u) << "the seed fold classifies every seeded route";
+  for (const auto& record : w.updates) {
+    census.apply(record.timestamp, std::get<mrt::Bgp4mpMessage>(record.body));
+    const std::uint64_t total =
+        stats.valley_free_seen + stats.valleys_seen + stats.incomplete_seen;
+    ASSERT_GE(total, last_total);
+    last_total = total;
+  }
+}
+
+}  // namespace
+}  // namespace htor::live

@@ -1,0 +1,294 @@
+// End-to-end test for `serve --follow` (live::FollowService): the daemon
+// answers /v1/link on a keep-alive connection WHILE the BGP4MP update
+// stream is applied and epochs are swapped in underneath it — no dropped
+// connections, the epoch counter advances with every publish, and
+// GET /metrics exposes the htor_live_* pipeline series.
+//
+// Labeled `e2e` in CTest so the slow suites can be filtered with -LE e2e.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/internet.hpp"
+#include "gen/updates.hpp"
+#include "live/follow.hpp"
+#include "mrt/writer.hpp"
+#include "obs/metrics.hpp"
+
+namespace htor::live {
+namespace {
+
+// ------------------------------------------------------------ tiny client
+// (Same shape as test_server_e2e's client: blocking with a poll() timeout.)
+
+class Client {
+ public:
+  explicit Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool send_raw(std::string_view data) {
+    while (!data.empty()) {
+      const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      data.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return true;
+  }
+
+  struct Response {
+    bool ok = false;
+    int status = 0;
+    std::string body;
+  };
+
+  Response read_response() {
+    Response resp;
+    while (buffer_.find("\r\n\r\n") == std::string::npos) {
+      if (!fill()) return resp;
+    }
+    const auto header_end = buffer_.find("\r\n\r\n") + 4;
+    const std::string head = buffer_.substr(0, header_end);
+    buffer_.erase(0, header_end);
+    if (head.rfind("HTTP/1.1 ", 0) == 0 && head.size() > 12) {
+      resp.status = std::atoi(head.c_str() + 9);
+    }
+    std::size_t content_length = 0;
+    const auto cl = head.find("Content-Length: ");
+    if (cl != std::string::npos) {
+      content_length = static_cast<std::size_t>(std::atol(head.c_str() + cl + 16));
+    }
+    while (buffer_.size() < content_length) {
+      if (!fill()) return resp;
+    }
+    resp.body = buffer_.substr(0, content_length);
+    buffer_.erase(0, content_length);
+    resp.ok = true;
+    return resp;
+  }
+
+ private:
+  bool fill() {
+    pollfd pfd{fd_, POLLIN, 0};
+    if (::poll(&pfd, 1, 5000) <= 0) return false;
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    buffer_.append(buf, static_cast<std::size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+Client::Response fetch(std::uint16_t port, const std::string& method,
+                       const std::string& target) {
+  Client client(port);
+  EXPECT_TRUE(client.connected());
+  EXPECT_TRUE(client.send_raw(method + " " + target + " HTTP/1.1\r\nConnection: close\r\n\r\n"));
+  return client.read_response();
+}
+
+// --------------------------------------------------------------- fixture
+
+/// On-disk inputs shared by every test: seed RIB, IRR dump, update stream.
+struct LiveFiles {
+  std::string dir;
+  std::string rib;
+  std::string irr;
+  std::string updates;
+  std::size_t update_count = 0;
+};
+
+const LiveFiles& files() {
+  static const LiveFiles f = [] {
+    LiveFiles out;
+    out.dir = (std::filesystem::temp_directory_path() /
+               ("htor_live_e2e_" + std::to_string(::getpid())))
+                  .string();
+    std::filesystem::create_directories(out.dir);
+    const auto net = gen::SyntheticInternet::generate(gen::small_params(7));
+    const auto rib = net.collect();
+
+    mrt::MrtWriter rib_writer;
+    for (const auto& rec : mrt::records_from_rib(rib, 0x0a0a0a0au, "live-e2e", 1281052800u)) {
+      rib_writer.write(rec);
+    }
+    out.rib = out.dir + "/rib.mrt";
+    rib_writer.save(out.rib);
+
+    out.irr = out.dir + "/irr.txt";
+    std::ofstream irr(out.irr);
+    irr << net.irr_dump();
+    irr.flush();
+
+    gen::UpdateScheduleParams params;
+    params.events = 2500;
+    const auto updates = gen::synthesize_updates(rib, params);
+    mrt::MrtWriter update_writer;
+    for (const auto& rec : updates) update_writer.write(rec);
+    out.updates = out.dir + "/updates.mrt";
+    update_writer.save(out.updates);
+    out.update_count = updates.size();
+    return out;
+  }();
+  return f;
+}
+
+FollowConfig follow_config(std::uint64_t epoch_every) {
+  FollowConfig config;
+  config.daemon.port = 0;  // ephemeral
+  config.daemon.jobs = 2;
+  config.pipeline.epoch_every = epoch_every;
+  config.jobs = 1;
+  return config;
+}
+
+// ------------------------------------------------------------------ tests
+
+TEST(LiveFollowE2E, ServesQueriesWhileStreamingAndAdvancesEpochs) {
+  obs::MetricsRegistry::global().reset_values();
+  const LiveFiles& f = files();
+  FollowService service(f.rib, f.irr, {f.updates}, follow_config(100));
+
+  // A link the seed census types, so /v1/link answers 200 from epoch 1 on.
+  LinkKey probe(0, 0);
+  service.census().live_rels(IpVersion::V4).for_each(
+      [&](const LinkKey& key, Relationship) {
+        if (probe.first == 0) probe = key;
+      });
+  ASSERT_NE(probe.first, probe.second);
+
+  service.start();
+  ASSERT_NE(service.port(), 0);
+
+  // Hammer one keep-alive connection for the whole stream: every request
+  // must get a complete 200 while epochs swap in underneath.
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<bool> broken{false};
+  const std::string request = "GET /v1/link/" + std::to_string(probe.first) + "/" +
+                              std::to_string(probe.second) + " HTTP/1.1\r\n\r\n";
+  std::thread hammer([&] {
+    Client client(service.port());
+    if (!client.connected()) {
+      broken.store(true);
+      return;
+    }
+    while (!stop.load()) {
+      if (!client.send_raw(request)) {
+        broken.store(true);
+        return;
+      }
+      const auto resp = client.read_response();
+      if (!resp.ok || resp.status != 200 || resp.body.empty()) {
+        broken.store(true);
+        return;
+      }
+      served.fetch_add(1);
+    }
+  });
+
+  service.wait();  // update stream exhausted; daemon still serving
+  stop.store(true);
+  hammer.join();
+
+  EXPECT_FALSE(broken.load()) << "a keep-alive connection broke during epoch swaps";
+  EXPECT_GT(served.load(), 0u);
+
+  const auto result = service.result();
+  EXPECT_FALSE(result.stopped);
+  EXPECT_EQ(result.applied, f.update_count);
+  EXPECT_EQ(result.records, f.update_count);
+  EXPECT_GE(service.epochs_published(), 2u);
+  EXPECT_EQ(result.epochs, service.epochs_published());
+  // Every publish advanced the daemon's epoch: seed epoch 1 + one per swap.
+  EXPECT_EQ(service.daemon().epoch(), 1 + service.epochs_published());
+
+  const auto health = fetch(service.port(), "GET", "/v1/healthz");
+  ASSERT_TRUE(health.ok);
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"epoch\":" + std::to_string(service.daemon().epoch())),
+            std::string::npos)
+      << health.body;
+
+  // The Prometheus exposition carries the live pipeline series.
+  const auto metrics = fetch(service.port(), "GET", "/metrics");
+  ASSERT_TRUE(metrics.ok);
+  for (const char* name :
+       {"htor_live_records_total", "htor_live_updates_total", "htor_live_epochs_total",
+        "htor_live_routes", "htor_live_staleness_updates"}) {
+    EXPECT_NE(metrics.body.find(name), std::string::npos) << "missing " << name;
+  }
+  EXPECT_NE(metrics.body.find("htor_live_records_total " + std::to_string(f.update_count)),
+            std::string::npos)
+      << "records counter should equal the stream length";
+
+  service.stop();
+}
+
+TEST(LiveFollowE2E, ReloadFailsGracefullyOnInMemoryIndex) {
+  obs::MetricsRegistry::global().reset_values();
+  const LiveFiles& f = files();
+  FollowService service(f.rib, f.irr, {f.updates}, follow_config(0));
+  service.start();
+  service.wait();
+
+  // POST /v1/reload: there is no snapshot file behind this daemon — the
+  // reload must fail with a reasoned 503, not crash or swap garbage.
+  const auto before = service.daemon().epoch();
+  const auto resp = fetch(service.port(), "POST", "/v1/reload");
+  ASSERT_TRUE(resp.ok);
+  EXPECT_EQ(resp.status, 503);
+  EXPECT_NE(resp.body.find("live in-memory index"), std::string::npos) << resp.body;
+  EXPECT_EQ(service.daemon().epoch(), before) << "a failed reload must not advance the epoch";
+
+  // The daemon keeps serving afterwards.
+  const auto health = fetch(service.port(), "GET", "/v1/healthz");
+  EXPECT_EQ(health.status, 200);
+  service.stop();
+}
+
+TEST(LiveFollowE2E, StopMidStreamIsCleanAndIdempotent) {
+  obs::MetricsRegistry::global().reset_values();
+  const LiveFiles& f = files();
+  FollowService service(f.rib, f.irr, {f.updates}, follow_config(50));
+  service.start();
+  // Stop as early as possible: whichever stage the pipeline is in, stop()
+  // must join cleanly, and a second stop() must be a no-op.
+  service.stop();
+  service.stop();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace htor::live

@@ -1,0 +1,127 @@
+// Unit tests for the SPSC ring: capacity rounding, FIFO order through many
+// wraparounds, the full/empty edge conditions, the close()/done()
+// end-of-stream protocol, and a two-thread hammer (the TSan-instrumented
+// stress lives in test_concurrency_stress.cpp; this one asserts values).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace htor {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(64).capacity(), 64u);
+  EXPECT_EQ(SpscRing<int>(65).capacity(), 128u);
+  EXPECT_THROW(SpscRing<int>(0), InvalidArgument);
+}
+
+TEST(SpscRing, PushPopIsFifo) {
+  SpscRing<int> ring(4);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      int value = round * 10 + i;
+      EXPECT_TRUE(ring.try_push(value));
+    }
+    int full = 99;
+    EXPECT_FALSE(ring.try_push(full));
+    EXPECT_EQ(full, 99);  // a failed push leaves the value untouched
+    for (int i = 0; i < 4; ++i) {
+      int out = -1;
+      EXPECT_TRUE(ring.try_pop(out));
+      EXPECT_EQ(out, round * 10 + i);
+    }
+    int empty = -1;
+    EXPECT_FALSE(ring.try_pop(empty));
+  }
+}
+
+TEST(SpscRing, OccupancyTracksPushesAndPops) {
+  SpscRing<int> ring(8);
+  EXPECT_EQ(ring.occupancy(), 0u);
+  int v = 1;
+  ring.try_push(v);
+  v = 2;
+  ring.try_push(v);
+  EXPECT_EQ(ring.occupancy(), 2u);
+  int out = 0;
+  ring.try_pop(out);
+  EXPECT_EQ(ring.occupancy(), 1u);
+}
+
+TEST(SpscRing, MoveOnlyPayloadsMoveThrough) {
+  SpscRing<std::unique_ptr<std::string>> ring(2);
+  auto in = std::make_unique<std::string>("payload");
+  EXPECT_TRUE(ring.try_push(in));
+  EXPECT_EQ(in, nullptr);  // moved from
+  std::unique_ptr<std::string> out;
+  EXPECT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, "payload");
+}
+
+TEST(SpscRing, CloseThenDrainTurnsDone) {
+  SpscRing<int> ring(4);
+  int v = 7;
+  ring.try_push(v);
+  EXPECT_FALSE(ring.closed());
+  ring.close();
+  ring.close();  // idempotent
+  EXPECT_TRUE(ring.closed());
+  EXPECT_FALSE(ring.done()) << "an element is still queued";
+  int out = 0;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_TRUE(ring.done());
+  // A closed ring still accepts pushes (close is a stream marker, not a
+  // gate); done() flips back until the element is drained.
+  v = 8;
+  EXPECT_TRUE(ring.try_push(v));
+  EXPECT_FALSE(ring.done());
+}
+
+// FIFO order and value integrity across threads, through ~1000 wraparounds
+// of a deliberately tiny ring.  Runs under the default build for value
+// checks; the TSan CI job compiles this same test with instrumentation.
+TEST(SpscRing, TwoThreadFifoThroughWraparound) {
+  constexpr std::uint64_t kCount = 4000;
+  SpscRing<std::uint64_t> ring(4);
+  // lint: allow(naked-thread) two-thread SPSC contract needs a raw second
+  // thread; joined before the assertions below
+  std::thread producer([&ring] {
+    for (std::uint64_t i = 0; i < kCount;) {
+      std::uint64_t value = i;
+      if (ring.try_push(value)) {
+        ++i;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    ring.close();
+  });
+  std::vector<std::uint64_t> seen;
+  seen.reserve(kCount);
+  while (!ring.done()) {
+    std::uint64_t out = 0;
+    if (ring.try_pop(out)) {
+      seen.push_back(out);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  ASSERT_EQ(seen.size(), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(seen[i], i) << "FIFO order broken at element " << i;
+  }
+}
+
+}  // namespace
+}  // namespace htor

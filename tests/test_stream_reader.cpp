@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "gen/internet.hpp"
+#include "gen/updates.hpp"
 #include "mrt/reader.hpp"
 #include "mrt/rib_view.hpp"
 #include "mrt/stream_reader.hpp"
@@ -141,6 +142,73 @@ TEST(RibFromStream, IdenticalToInMemoryJoin) {
       }
     }
   }
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ next_update
+
+/// A file interleaving the TABLE_DUMP_V2 dump with a BGP4MP update stream —
+/// the shape `follow` consumes when a collector archive mixes both.
+std::vector<std::uint8_t> mixed_dump(std::size_t events) {
+  const auto net = gen::SyntheticInternet::generate(gen::small_params(21));
+  const auto rib = net.collect();
+  MrtWriter writer;
+  for (const auto& rec : records_from_rib(rib, 1, "stream", 1281052800u)) writer.write(rec);
+  gen::UpdateScheduleParams params;
+  params.events = events;
+  for (const auto& rec : gen::synthesize_updates(rib, params)) writer.write(rec);
+  return writer.take();
+}
+
+TEST(MrtStreamReaderUpdates, NextUpdateYieldsOnlyBgp4mpFrames) {
+  const auto bytes = mixed_dump(25);
+  const std::string path = write_temp(bytes, "stream_mixed.mrt");
+
+  // Ground truth from the in-memory reader: which records are updates.
+  const auto records = read_all(bytes);
+  std::size_t expected_updates = 0;
+  for (const auto& rec : records) {
+    if (std::holds_alternative<Bgp4mpMessage>(rec.body)) ++expected_updates;
+  }
+  ASSERT_GT(expected_updates, 0u);
+  ASSERT_LT(expected_updates, records.size());  // the RIB frames are really there
+
+  MrtStreamReader stream(path);
+  std::size_t yielded = 0;
+  while (auto frame = stream.next_update()) {
+    const Record decoded =
+        decode_record_body(frame->timestamp, frame->type, frame->subtype, frame->body);
+    EXPECT_TRUE(std::holds_alternative<Bgp4mpMessage>(decoded.body)) << "frame " << yielded;
+    ++yielded;
+  }
+  EXPECT_EQ(yielded, expected_updates);
+  EXPECT_EQ(stream.updates_skipped(), records.size() - expected_updates);
+  EXPECT_EQ(stream.records_read(), records.size());
+  std::remove(path.c_str());
+}
+
+TEST(MrtStreamReaderUpdates, PureRibFileYieldsNoUpdates) {
+  const auto& bytes = sample_dump();
+  const std::string path = write_temp(bytes, "stream_pure_rib.mrt");
+  MrtStreamReader stream(path);
+  EXPECT_FALSE(stream.next_update().has_value());
+  EXPECT_EQ(stream.updates_skipped(), read_all(bytes).size());
+  std::remove(path.c_str());
+}
+
+// Framing errors surface through next_update() exactly as through next():
+// a header cut short mid-stream throws DecodeError instead of reading EOF.
+TEST(MrtStreamReaderUpdates, TruncatedUpdateStreamThrows) {
+  auto bytes = mixed_dump(25);
+  bytes.resize(bytes.size() - 7);  // cut inside the final update record
+  const std::string path = write_temp(bytes, "stream_trunc_update.mrt");
+  MrtStreamReader stream(path);
+  EXPECT_THROW(
+      {
+        while (stream.next_update()) {
+        }
+      },
+      DecodeError);
   std::remove(path.c_str());
 }
 

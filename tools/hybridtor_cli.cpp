@@ -26,6 +26,22 @@
 //                              /v1/healthz, /v1/metrics over HTTP/1.1 on
 //                              127.0.0.1; SIGHUP or POST /v1/reload hot-swaps
 //                              a freshly loaded snapshot without downtime
+//   follow  <rib.mrt> <irr.txt> <updates.mrt...>
+//                              continuous census: seed the RIB, stream the
+//                              BGP4MP update files through the live pipeline
+//                              (reader -> decoder -> apply over SPSC rings),
+//                              and cut a full census epoch every
+//                              --epoch-every applied updates (plus a final
+//                              one).  Each epoch is byte-identical to
+//                              running `census` on the RIB state at that
+//                              point in the stream.
+//   serve --follow <rib.mrt> <irr.txt> <updates.mrt...>
+//                              the follow pipeline fused with the query
+//                              daemon: every cut epoch is encoded to an
+//                              in-memory QueryIndex and swapped into the
+//                              daemon without dropping a connection; the
+//                              daemon's answers lag the stream by at most
+//                              --epoch-every updates
 //
 // The census subcommand is the adoption path for real data: it consumes
 // nothing but the two files.  `census --snapshot-out <file>` additionally
@@ -68,6 +84,10 @@
 #include "core/pipeline.hpp"
 #include "core/snapshot_bridge.hpp"
 #include "gen/internet.hpp"
+#include "gen/updates.hpp"
+#include "live/follow.hpp"
+#include "live/incremental_census.hpp"
+#include "live/pipeline.hpp"
 #include "mrt/reader.hpp"
 #include "mrt/stream_reader.hpp"
 #include "mrt/writer.hpp"
@@ -136,15 +156,52 @@ std::optional<std::uint16_t> parse_port(const std::string& value) {
 
 int usage() {
   std::cerr << "usage:\n"
-               "  hybridtor generate <outdir> [seed]\n"
+               "  hybridtor generate [--update-events N] <outdir> [seed]\n"
                "  hybridtor census [--jobs N] [--no-stream] [--snapshot-out <file>]\n"
                "                   [--stats] [--trace-out <file>] <rib.mrt> <irr.txt>\n"
                "  hybridtor inspect <rib.mrt>\n"
                "  hybridtor diff <a.snap> <b.snap>\n"
                "  hybridtor query [--json] <snap> <asn> [asn2]\n"
                "  hybridtor snapshot-upgrade <in.snap> <out.snap>\n"
-               "  hybridtor serve <snap> [--port N] [--jobs N]\n";
+               "  hybridtor serve <snap> [--port N] [--jobs N]\n"
+               "  hybridtor follow [--jobs N] [--epoch-every N] [--ring-capacity N]\n"
+               "                   <rib.mrt> <irr.txt> <updates.mrt...>\n"
+               "  hybridtor serve --follow [--port N] [--jobs N] [--epoch-every N]\n"
+               "                   [--ring-capacity N] <rib.mrt> <irr.txt> <updates.mrt...>\n";
   return 2;
+}
+
+/// Strict parse for --epoch-every (0 = only the final epoch).
+std::optional<std::uint64_t> parse_epoch_every(const std::string& value) {
+  std::uint64_t parsed = 0;
+  if (!parse_u64(value, parsed)) {
+    std::cerr << "error: --epoch-every expects a non-negative integer, got '" << value << "'\n";
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+/// Strict parse for --ring-capacity (rounded up to a power of two; 0 is
+/// rejected here rather than throwing out of the pipeline constructor).
+std::optional<std::size_t> parse_ring_capacity(const std::string& value) {
+  std::uint64_t parsed = 0;
+  if (!parse_u64(value, parsed) || parsed == 0 || parsed > (1u << 20)) {
+    std::cerr << "error: --ring-capacity expects an integer in [1, 1048576], got '" << value
+              << "'\n";
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+/// Strict parse for generate --update-events.
+std::optional<std::size_t> parse_update_events(const std::string& value) {
+  std::uint64_t parsed = 0;
+  if (!parse_u64(value, parsed) || parsed > 10'000'000) {
+    std::cerr << "error: --update-events expects an integer in [0, 10000000], got '" << value
+              << "'\n";
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(parsed);
 }
 
 std::string read_text_file(const std::string& path) {
@@ -155,7 +212,7 @@ std::string read_text_file(const std::string& path) {
   return os.str();
 }
 
-int cmd_generate(const std::string& outdir, std::uint64_t seed) {
+int cmd_generate(const std::string& outdir, std::uint64_t seed, std::size_t update_events) {
   std::error_code ec;
   std::filesystem::create_directories(outdir, ec);
   if (ec) {
@@ -166,14 +223,26 @@ int cmd_generate(const std::string& outdir, std::uint64_t seed) {
   params.seed = seed;
   std::cout << "generating (seed " << seed << ", " << params.total_ases() << " ASes)...\n";
   const auto net = gen::SyntheticInternet::generate(params);
+  const auto rib = net.collect();
 
   mrt::MrtWriter writer;
-  for (const auto& record :
-       mrt::records_from_rib(net.collect(), 0x0a0a0a0au, "hybridtor", 1281052800u)) {
+  for (const auto& record : mrt::records_from_rib(rib, 0x0a0a0a0au, "hybridtor", 1281052800u)) {
     writer.write(record);
   }
   writer.save(outdir + "/rib.mrt");
   std::cout << "wrote " << outdir << "/rib.mrt (" << writer.data().size() << " bytes)\n";
+
+  if (update_events > 0) {
+    gen::UpdateScheduleParams schedule;
+    schedule.seed = seed;
+    schedule.events = update_events;
+    const auto updates = gen::synthesize_updates(rib, schedule);
+    mrt::MrtWriter update_writer;
+    for (const auto& record : updates) update_writer.write(record);
+    update_writer.save(outdir + "/updates.mrt");
+    std::cout << "wrote " << outdir << "/updates.mrt (" << updates.size() << " BGP4MP records, "
+              << update_writer.data().size() << " bytes)\n";
+  }
 
   std::ofstream irr(outdir + "/irr.txt");
   if (!irr) throw Error("cannot write " + outdir + "/irr.txt");
@@ -527,6 +596,105 @@ int cmd_serve(const std::string& snap_path, std::uint16_t port, std::size_t jobs
   return 0;
 }
 
+// ------------------------------------------------------------------ follow
+
+/// Batch mode of the continuous census: stream the update files through the
+/// live pipeline and print one line per cut epoch.  No daemon — this is the
+/// offline replay / validation path (`serve --follow` is the serving path).
+int cmd_follow(const std::string& rib_path, const std::string& irr_path,
+               std::vector<std::string> update_paths, std::size_t jobs,
+               std::uint64_t epoch_every, std::size_t ring_capacity) {
+  ThreadPool pool(jobs);
+  mrt::ObservedRib rib;
+  try {
+    rib = core::load_rib(rib_path, pool);
+  } catch (const Error& e) {
+    throw Error("follow aborted: " + rib_path + ": " + e.what());
+  }
+  const auto dict = rpsl::mine_dictionary(rpsl::parse_objects(read_text_file(irr_path)));
+  std::cout << rib_path << ": seeded " << rib.size() << " routes ("
+            << rib.size_of(IpVersion::V6) << " IPv6); dictionary: " << dict.size()
+            << " communities\n";
+
+  core::InferenceConfig config;
+  config.threads = jobs;
+  live::IncrementalCensus census(rib, dict, config, rib_path,
+                                 static_cast<std::uint32_t>(rib_epoch(rib_path)));
+
+  live::PipelineConfig pipeline_config;
+  pipeline_config.ring_capacity = ring_capacity;
+  pipeline_config.epoch_every = epoch_every;
+  live::Pipeline pipeline(census, pipeline_config);
+
+  std::uint64_t epoch_no = 0;
+  const auto result = pipeline.run(update_paths, pool, [&](const live::EpochReport& epoch) {
+    ++epoch_no;
+    const auto& r = epoch.report;
+    std::cout << "epoch " << epoch_no << " @" << epoch.last_timestamp << ": applied "
+              << epoch.applied << ", routes " << census.rib().size() << ", v6 links "
+              << r.v6_links << ", typed v6 "
+              << r.v6_coverage.covered_links << ", dual " << r.dual_links << ", hybrids "
+              << r.hybrids.hybrids.size() << "\n";
+  });
+
+  const auto& apply = census.rib().stats();
+  const auto& stats = census.stats();
+  std::cout << "\nstream done: " << result.records << " BGP4MP records ("
+            << result.skipped << " non-update frames skipped), " << result.applied
+            << " applied, " << result.epochs << " epochs\n"
+            << "apply mix: " << apply.announced << " new, " << apply.replaced << " replaced, "
+            << apply.duplicates << " duplicate announces; " << apply.withdrawn
+            << " withdrawn (" << apply.withdrawn_missing << " for unknown routes); "
+            << apply.non_updates << " non-UPDATE messages\n"
+            << "valley telemetry over announced paths: " << stats.valley_free_seen
+            << " valley-free, " << stats.valleys_seen << " valleys, " << stats.incomplete_seen
+            << " incomplete\n";
+  return 0;
+}
+
+/// The serving mode: FollowService runs the pipeline on a background thread
+/// and swaps each epoch's QueryIndex into the daemon; this loop only owns
+/// signal plumbing.  --jobs sizes the census/epoch pool (the daemon keeps
+/// its own default connection workers).
+int cmd_serve_follow(const std::string& rib_path, const std::string& irr_path,
+                     std::vector<std::string> update_paths, std::uint16_t port,
+                     std::size_t jobs, std::uint64_t epoch_every, std::size_t ring_capacity) {
+  live::FollowConfig config;
+  config.daemon.port = port;
+  config.jobs = jobs;
+  config.pipeline.epoch_every = epoch_every;
+  config.pipeline.ring_capacity = ring_capacity;
+  config.inference.threads = jobs;
+  live::FollowService service(rib_path, irr_path, std::move(update_paths), config);
+
+  struct sigaction sa = {};
+  sa.sa_handler = serve_signal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGHUP, &sa, nullptr);
+
+  service.start();
+  std::cout << "serving continuous census on http://127.0.0.1:" << service.port()
+            << " (seed " << rib_path << ", epoch every " << epoch_every
+            << " updates)\n"
+            << "endpoints: /v1/link/<a>/<b> /v1/neighbors/<asn> /v1/summary"
+               " /v1/healthz /v1/metrics /metrics\n"
+            << std::flush;
+
+  while (!g_serve_stop.load()) {
+    // SIGHUP has no file to reload here; request_reload() reports that
+    // gracefully through /v1/metrics rather than being silently dropped.
+    if (g_serve_reload.exchange(false)) service.daemon().request_reload();
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::cout << "shutting down...\n";
+  service.stop();
+  const auto result = service.result();
+  std::cout << "applied " << result.applied << " updates, published "
+            << service.epochs_published() << " epochs\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -540,13 +708,66 @@ int main(int argc, char** argv) {
   bool streaming = true;
   bool json = false;
   bool stats = false;
+  bool follow = false;
   std::optional<std::string> snapshot_out;
   std::optional<std::string> trace_out;
   std::optional<std::uint16_t> port;
+  std::optional<std::uint64_t> epoch_every;
+  std::optional<std::size_t> ring_capacity;
+  std::optional<std::size_t> update_events;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--no-stream") {
       streaming = false;
+      continue;
+    }
+    if (arg == "--follow") {
+      follow = true;
+      continue;
+    }
+    if (arg == "--epoch-every" || arg.rfind("--epoch-every=", 0) == 0) {
+      std::string value;
+      if (arg.size() > 13 && arg[13] == '=') {
+        value = arg.substr(14);
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::cerr << "error: --epoch-every requires a value\n";
+        return 2;
+      }
+      const auto parsed = parse_epoch_every(value);
+      if (!parsed) return 2;
+      epoch_every = *parsed;
+      continue;
+    }
+    if (arg == "--ring-capacity" || arg.rfind("--ring-capacity=", 0) == 0) {
+      std::string value;
+      if (arg.size() > 15 && arg[15] == '=') {
+        value = arg.substr(16);
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::cerr << "error: --ring-capacity requires a value\n";
+        return 2;
+      }
+      const auto parsed = parse_ring_capacity(value);
+      if (!parsed) return 2;
+      ring_capacity = *parsed;
+      continue;
+    }
+    if (arg == "--update-events" || arg.rfind("--update-events=", 0) == 0) {
+      std::string value;
+      if (arg.size() > 15 && arg[15] == '=') {
+        value = arg.substr(16);
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::cerr << "error: --update-events requires a value\n";
+        return 2;
+      }
+      const auto parsed = parse_update_events(value);
+      if (!parsed) return 2;
+      update_events = *parsed;
       continue;
     }
     if (arg == "--stats") {
@@ -641,6 +862,19 @@ int main(int argc, char** argv) {
     std::cerr << "error: --port is only valid with the serve subcommand\n";
     return 2;
   }
+  if (follow && cmd != "serve") {
+    std::cerr << "error: --follow is only valid with the serve subcommand\n";
+    return 2;
+  }
+  if ((epoch_every || ring_capacity) && cmd != "follow" && !(cmd == "serve" && follow)) {
+    std::cerr << "error: --epoch-every/--ring-capacity are only valid with follow or"
+                 " serve --follow\n";
+    return 2;
+  }
+  if (update_events && cmd != "generate") {
+    std::cerr << "error: --update-events is only valid with the generate subcommand\n";
+    return 2;
+  }
   try {
     if (cmd == "generate" && (args.size() == 2 || args.size() == 3)) {
       std::uint64_t seed = 42;
@@ -649,7 +883,7 @@ int main(int argc, char** argv) {
         if (!parsed) return 2;
         seed = *parsed;
       }
-      return cmd_generate(args[1], seed);
+      return cmd_generate(args[1], seed, update_events.value_or(0));
     }
     if (cmd == "census" && args.size() == 3) {
       return cmd_census(args[1], args[2], jobs.value_or(1), streaming, snapshot_out, stats,
@@ -671,11 +905,20 @@ int main(int argc, char** argv) {
       }
       return cmd_query(args[1], *asn, other, json);
     }
-    if (cmd == "serve" && args.size() == 2) {
+    if (cmd == "serve" && !follow && args.size() == 2) {
       // serve defaults --jobs to 0 (one connection worker per hardware
       // thread): unlike the batch census, a daemon's default should not be
       // a single inline worker that serializes every client.
       return cmd_serve(args[1], port.value_or(8080), jobs.value_or(0));
+    }
+    if (cmd == "follow" && args.size() >= 4) {
+      return cmd_follow(args[1], args[2], {args.begin() + 3, args.end()}, jobs.value_or(1),
+                        epoch_every.value_or(0), ring_capacity.value_or(1024));
+    }
+    if (cmd == "serve" && follow && args.size() >= 4) {
+      return cmd_serve_follow(args[1], args[2], {args.begin() + 3, args.end()},
+                              port.value_or(8080), jobs.value_or(1), epoch_every.value_or(0),
+                              ring_capacity.value_or(1024));
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
