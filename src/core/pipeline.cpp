@@ -1,10 +1,12 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "core/parallel.hpp"
 #include "mrt/reader.hpp"
 #include "mrt/stream_reader.hpp"
+#include "obs/sketch/telemetry.hpp"
 #include "obs/trace.hpp"
 
 namespace htor::core {
@@ -73,6 +75,25 @@ InferredRelationships infer_relationships(const mrt::ObservedRib& rib,
     const CommunityVotes v4_votes = collect_votes(v4_futures, first_error);
     const CommunityVotes v6_votes = collect_votes(v6_futures, first_error);
     if (first_error) std::rethrow_exception(first_error);
+
+    // Most-voted-links telemetry: one CMS feed from the POST-merge tallies,
+    // sorted by packed link so the heavy-hitter candidate set never depends
+    // on unordered_map iteration order (or on the ingest path taken).
+    {
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> link_votes;
+      link_votes.reserve(v4_votes.votes.size() + v6_votes.votes.size());
+      for (const CommunityVotes* family : {&v4_votes, &v6_votes}) {
+        for (const auto& [key, tallies] : family->votes) {
+          std::uint64_t total = 0;
+          for (const std::uint32_t n : tallies) total += n;
+          if (total > 0) {
+            link_votes.emplace_back(obs::sketch::link_item(key.first, key.second), total);
+          }
+        }
+      }
+      std::sort(link_votes.begin(), link_votes.end());
+      obs::sketch::Telemetry::global().feed_link_votes(link_votes);
+    }
 
     out.community_v4 = tally_community_votes(v4_votes, config.community);
     out.community_v6 = tally_community_votes(v6_votes, config.community);

@@ -4,6 +4,7 @@
 // accumulated along the way (ingress relationship tags, TE tags, geo tags,
 // with stripping applied), and the vantage's LocPrf.
 #include <algorithm>
+#include <unordered_map>
 
 #include "gen/internet.hpp"
 #include "propagation/engine.hpp"
@@ -91,6 +92,68 @@ mrt::ObservedRib SyntheticInternet::collect() const {
         route.communities = bgp::normalized(std::move(communities));
         rib.add(std::move(route));
       }
+    }
+  }
+  return rib;
+}
+
+mrt::ObservedRib SyntheticInternet::collect_scaled(std::size_t max_vantages) const {
+  mrt::ObservedRib rib;
+
+  // Memoized min-ASN IPv4 provider per AS (0 = top of its hierarchy).  The
+  // C2P relation is acyclic by construction (tiers buy upward; the only
+  // lateral transit links are v6-only), so the chain walk terminates.
+  std::unordered_map<Asn, Asn> up;
+  auto provider_of = [&](Asn asn) {
+    const auto it = up.find(asn);
+    if (it != up.end()) return it->second;
+    Asn best = 0;
+    for (Asn n : graph_.neighbors(asn, IpVersion::V4)) {
+      if (rels_v4_.get(asn, n) == Relationship::C2P && (best == 0 || n < best)) best = n;
+    }
+    up.emplace(asn, best);
+    return best;
+  };
+  auto chain_of = [&](Asn asn) {
+    std::vector<Asn> out{asn};
+    for (Asn cur = provider_of(asn); cur != 0; cur = provider_of(cur)) {
+      out.push_back(cur);
+      if (out.size() > 16) break;  // defensive: planted hierarchies are ≤4 deep
+    }
+    return out;
+  };
+
+  std::vector<Asn> origins = graph_.ases();
+  std::sort(origins.begin(), origins.end());
+
+  for (std::size_t v = 0; v < vantages_.size() && v < max_vantages; ++v) {
+    const Asn vantage = vantages_[v];
+    const std::vector<Asn> vc = chain_of(vantage);
+    for (Asn origin : origins) {
+      if (origin == vantage) continue;
+      const std::vector<Asn> oc = chain_of(origin);
+      // Join at the first AS of the vantage chain that the origin chain
+      // also crosses; with disjoint chains the two tier-1 tops peer in the
+      // clique, so the concatenation is still a plausible path.
+      std::vector<Asn> path;
+      std::size_t join = oc.size();
+      for (Asn hop : vc) {
+        path.push_back(hop);
+        const auto pos = std::find(oc.begin(), oc.end(), hop);
+        if (pos != oc.end()) {
+          join = static_cast<std::size_t>(pos - oc.begin());
+          break;
+        }
+      }
+      for (std::size_t i = join; i-- > 0;) path.push_back(oc[i]);
+
+      mrt::ObservedRoute route;
+      route.af = IpVersion::V4;
+      route.prefix = prefix_of(origin, IpVersion::V4);
+      route.peer_asn = vantage;
+      route.as_path = std::move(path);
+      route.local_pref = 100;
+      rib.add(std::move(route));
     }
   }
   return rib;

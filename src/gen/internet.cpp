@@ -68,6 +68,30 @@ GenParams small_params(std::uint64_t seed) {
   return p;
 }
 
+GenParams scale_params(std::size_t total_ases, std::uint64_t seed) {
+  GenParams p;
+  p.seed = seed;
+  p.tier1_count = 16;
+  p.tier2_count = 900;
+  p.tier3_count = 9000;
+  const std::size_t core = p.tier1_count + p.tier2_count + p.tier3_count;
+  p.stub_count = total_ases > core ? total_ases - core : 1;
+  p.sibling_pairs = 40;
+  // 900 tier-2s at the default 0.05 would mesh into ~20k peerings; thin it
+  // so the core link count stays proportionate to the default net's.
+  p.t2_peer_prob = 0.01;
+  p.v6_only_peer_links = 2000;
+  p.relaxed_count = 80;
+  // TE overrides draw per (AS, origin) pair — O(N²) at this scale, and the
+  // scaled collector synthesizes community-free routes anyway.
+  p.te_enabled_prob = 0.0;
+  // ~90k stub aut-nums would dominate both the IRR dump and the miner;
+  // the community-bearing transit core still publishes.
+  p.publish_stub = 0.0;
+  p.publish_tier3 = 0.10;
+  return p;
+}
+
 /// Builder with access to SyntheticInternet internals.
 class Generator {
  public:
@@ -151,8 +175,34 @@ class Generator {
 
   bool linked(Asn a, Asn b) const { return link_index_.count(LinkKey(a, b)) != 0; }
 
+  /// Pools small enough for the exact weighted draw.  Every pool of the
+  /// default and small presets is under this, so their RNG streams (and
+  /// therefore the nets themselves) are unchanged by the sampled fast path.
+  static constexpr std::size_t kExactProviderPool = 2048;
+  /// Candidates drawn per sampled pick; the weighting is applied among them.
+  static constexpr std::size_t kProviderSample = 64;
+
   /// Preferential attachment: providers with more customers attract more.
+  /// Huge pools (scale_params' 9000 tier-3s × ~90k stub customers) would
+  /// make the exact draw O(|pool|) per customer, so they sample a small
+  /// uniform subset and weight within it — the rich-get-richer bias
+  /// survives, just estimated from 64 candidates instead of all of them.
   Asn pick_provider(const std::vector<Asn>& candidates, Asn customer) {
+    if (candidates.size() > kExactProviderPool) {
+      std::array<Asn, kProviderSample> sample{};
+      std::array<double, kProviderSample> weights{};
+      double total = 0;
+      for (std::size_t k = 0; k < kProviderSample; ++k) {
+        const Asn c = candidates[rng_.index(candidates.size())];
+        sample[k] = c;
+        weights[k] = c == customer || linked(c, customer)
+                         ? 0.0
+                         : 1.0 + static_cast<double>(customer_count_[c]);
+        total += weights[k];
+      }
+      if (total <= 0.0) return 0;
+      return sample[rng_.weighted(weights)];
+    }
     std::vector<double> weights;
     weights.reserve(candidates.size());
     for (Asn c : candidates) {
@@ -750,6 +800,18 @@ class Generator {
       profile.geo_tags = rng_.chance(p().geo_prob);
       profile.te_enabled = rng_.chance(p().te_enabled_prob);
       profile.cryptic_remarks = profile.publishes_irr && rng_.chance(p().cryptic_prob);
+      // A classic community is two 16-bit halves, so an AS whose number
+      // doesn't fit cannot run an <asn>:<value> scheme at all: everything
+      // that writes or documents communities is forced off.  Gated *after*
+      // the draws so the RNG stream — and every existing small net — is
+      // byte-identical to what it was before 32-bit ASNs existed here.
+      if (asn > 0xffff) {
+        profile.publishes_irr = false;
+        profile.tags_relationships = false;
+        profile.geo_tags = false;
+        profile.te_enabled = false;
+        profile.cryptic_remarks = false;
+      }
     }
 
     // The single reversal's endpoints must stay interpretable, and the
@@ -884,16 +946,24 @@ const AsProfile& SyntheticInternet::profile(Asn asn) const {
   return it->second;
 }
 
+// ASNs above 0xffff (scale_params' stub population) spill into the /8 (v4)
+// or the fourth prefix byte (v6): for small ASNs both encodings are bit-for
+// -bit what they always were, so existing nets and their MRT dumps are
+// unchanged.  16 "pages" of 65536 ASNs bound the spill — a million ASes,
+// far beyond what the generator will ever host.
+constexpr std::uint32_t kAsnPages = 16;
+
 Prefix SyntheticInternet::prefix_of(Asn asn, IpVersion af) const {
+  const std::uint32_t page = asn >> 16;
   if (af == IpVersion::V4) {
-    const std::uint32_t addr = 10u << 24 | (asn & 0xffffu) << 8;
+    const std::uint32_t addr = (10u + page) << 24 | (asn & 0xffffu) << 8;
     return Prefix(IpAddress::v4(addr), 24);
   }
   std::array<std::uint8_t, 16> raw{};
   raw[0] = 0x20;
   raw[1] = 0x01;
   raw[2] = 0x0d;
-  raw[3] = 0xb8;
+  raw[3] = static_cast<std::uint8_t>(0xb8 + page);
   raw[4] = static_cast<std::uint8_t>(asn >> 8);
   raw[5] = static_cast<std::uint8_t>(asn);
   return Prefix(IpAddress::v6(raw), 48);
@@ -904,13 +974,15 @@ Asn SyntheticInternet::origin_of(const Prefix& prefix) const {
   if (prefix.version() == IpVersion::V4) {
     if (prefix.length() != 24) return 0;
     const std::uint32_t addr = prefix.address().v4_value();
-    if (addr >> 24 != 10) return 0;
-    asn = (addr >> 8) & 0xffffu;
+    const std::uint32_t octet = addr >> 24;
+    if (octet < 10 || octet >= 10 + kAsnPages) return 0;
+    asn = (octet - 10) << 16 | ((addr >> 8) & 0xffffu);
   } else {
     if (prefix.length() != 48) return 0;
     const auto raw = prefix.address().bytes();
-    if (raw[0] != 0x20 || raw[1] != 0x01 || raw[2] != 0x0d || raw[3] != 0xb8) return 0;
-    asn = static_cast<Asn>(raw[4]) << 8 | raw[5];
+    if (raw[0] != 0x20 || raw[1] != 0x01 || raw[2] != 0x0d) return 0;
+    if (raw[3] < 0xb8 || raw[3] >= 0xb8 + kAsnPages) return 0;
+    asn = static_cast<Asn>(raw[3] - 0xb8) << 16 | static_cast<Asn>(raw[4]) << 8 | raw[5];
   }
   return profiles_.count(asn) ? asn : 0;
 }

@@ -109,6 +109,15 @@ class SyntheticInternet {
   /// The result is what a RouteViews-style collector would have in its RIB.
   mrt::ObservedRib collect() const;
 
+  /// The internet-scale collector: instead of propagating every origin
+  /// through the whole graph (O(N·E) — infeasible at scale_params size),
+  /// synthesize one deterministic customer-to-provider route per
+  /// (vantage, origin) pair by joining the two ASes' memoized uplink
+  /// chains.  IPv4 only, no communities; O(N · max_vantages) overall.
+  /// This is the substrate for the sketch-telemetry accuracy tests and
+  /// benches, not for relationship-inference experiments.
+  mrt::ObservedRib collect_scaled(std::size_t max_vantages = 4) const;
+
   /// Per-AS policies keyed by ASN for one plane (relaxation only in v6).
   std::unordered_map<Asn, prop::NodePolicy> policies(IpVersion af) const;
 

@@ -120,4 +120,12 @@ struct GenParams {
 /// A smaller preset for unit tests (seconds, not minutes).
 GenParams small_params(std::uint64_t seed = 7);
 
+/// An internet-scale preset (default ≥100k ASes): a thin transit core under
+/// a huge stub population, with every super-linear feature turned off —
+/// TE overrides (O(N²) draws) and stub IRR publication (the dump and the
+/// miner would otherwise dwarf the run).  Pair with
+/// SyntheticInternet::collect_scaled(); the full propagation collector is
+/// O(N·E) and not meant for nets this size.
+GenParams scale_params(std::size_t total_ases = 100'000, std::uint64_t seed = 42);
+
 }  // namespace htor::gen

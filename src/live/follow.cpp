@@ -43,7 +43,14 @@ FollowService::FollowService(const std::string& rib_path, const std::string& irr
       // Epoch 0 is the seed RIB's census: the daemon is never up without a
       // servable index, exactly like the snapshot-file constructor.
       daemon_(snapshot::QueryIndex(census_.recompute(census_pool_).snap), config.daemon),
-      pipeline_(census_, config.pipeline) {}
+      pipeline_(census_, config.pipeline),
+      epoch_age_metric_(obs::MetricsRegistry::global().callback(
+          "htor_live_epoch_age_seconds", {}, obs::MetricsRegistry::Kind::Gauge, [this] {
+            std::lock_guard<std::mutex> lock(mutex_);
+            return static_cast<std::int64_t>(std::chrono::duration_cast<std::chrono::seconds>(
+                                                 std::chrono::steady_clock::now() - last_publish_)
+                                                 .count());
+          })) {}
 
 FollowService::~FollowService() { stop(); }
 
@@ -65,6 +72,7 @@ void FollowService::run_pipeline() {
       daemon_.swap_index(std::move(index));
       std::lock_guard<std::mutex> lock(mutex_);
       ++epochs_published_;
+      last_publish_ = std::chrono::steady_clock::now();
     });
     std::lock_guard<std::mutex> lock(mutex_);
     result_ = result;

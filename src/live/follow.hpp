@@ -16,6 +16,7 @@
 // serving it until stop().
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -25,6 +26,7 @@
 #include "core/pipeline.hpp"
 #include "live/incremental_census.hpp"
 #include "live/pipeline.hpp"
+#include "obs/metrics.hpp"
 #include "rpsl/community_dict.hpp"
 #include "server/daemon.hpp"
 #include "util/thread_pool.hpp"
@@ -88,6 +90,13 @@ class FollowService {
   PipelineResult result_;
   std::exception_ptr pipeline_error_;
   bool finished_ = false;
+  /// When the currently-served epoch was swapped in (epoch 0 = construction).
+  std::chrono::steady_clock::time_point last_publish_ = std::chrono::steady_clock::now();
+
+  /// htor_live_epoch_age_seconds: staleness of the served epoch in wall
+  /// seconds — the observable side of the --epoch-every bound.  Registered
+  /// last so it unregisters first, before anything it reads is torn down.
+  obs::CallbackMetric epoch_age_metric_;
 };
 
 }  // namespace htor::live

@@ -5,6 +5,7 @@
 
 #include "core/community_inference.hpp"
 #include "core/snapshot_bridge.hpp"
+#include "obs/sketch/telemetry.hpp"
 #include "topology/valley.hpp"
 
 namespace htor::live {
@@ -104,6 +105,23 @@ void IncrementalCensus::apply(std::uint32_t timestamp, const mrt::Bgp4mpMessage&
   ApplyDelta delta = rib_.apply(msg);  // throws before any mutation
   for (const auto& route : delta.removed) remove_route(route);
   for (const auto& route : delta.added) add_route(route);
+  // Epoch churn: every entity a removed OR added route touches counts as
+  // churned.  HLL adds are idempotent, so a route that flaps repeatedly
+  // within one epoch still counts each entity once.
+  for (const auto* routes : {&delta.removed, &delta.added}) {
+    for (const auto& route : *routes) {
+      churn_prefixes_.add(obs::sketch::prefix_item(route.prefix));
+      std::uint32_t prev = 0;
+      bool have_prev = false;
+      for (const std::uint32_t asn : route.as_path) {
+        if (have_prev && asn == prev) continue;
+        churn_ases_.add(obs::sketch::as_item(asn));
+        if (have_prev) churn_links_.add(obs::sketch::link_item(prev, asn));
+        prev = asn;
+        have_prev = true;
+      }
+    }
+  }
   ++applied_;
   last_timestamp_ = timestamp;
   stats_.routes = rib_.size();
@@ -252,7 +270,25 @@ EpochReport IncrementalCensus::recompute(ThreadPool& pool) const {
   epoch.applied = applied_;
   epoch.last_timestamp = applied_ == 0 ? seed_timestamp_ : last_timestamp_;
   epoch.snap = core::to_snapshot(epoch.report, source_, epoch.last_timestamp);
+  const ChurnEstimates churn = epoch_churn();
+  epoch.churn_ases = churn.ases;
+  epoch.churn_prefixes = churn.prefixes;
+  epoch.churn_links = churn.links;
   return epoch;
+}
+
+IncrementalCensus::ChurnEstimates IncrementalCensus::epoch_churn() const {
+  ChurnEstimates out;
+  out.ases = churn_ases_.estimate_count();
+  out.prefixes = churn_prefixes_.estimate_count();
+  out.links = churn_links_.estimate_count();
+  return out;
+}
+
+void IncrementalCensus::reset_epoch_churn() {
+  churn_ases_.reset();
+  churn_prefixes_.reset();
+  churn_links_.reset();
 }
 
 }  // namespace htor::live

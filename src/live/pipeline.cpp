@@ -8,6 +8,7 @@
 
 #include "mrt/reader.hpp"
 #include "mrt/stream_reader.hpp"
+#include "obs/sketch/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "util/spsc_ring.hpp"
 
@@ -156,6 +157,12 @@ PipelineResult Pipeline::run(const std::vector<std::string>& update_paths,
   auto emit_epoch = [&] {
     OBS_SPAN("live.epoch");
     const EpochReport epoch = census_.recompute(epoch_pool);
+    // Publish the closing epoch's churn cardinality, then start the next
+    // epoch's sketches from zero — the gauges always describe the last
+    // *completed* epoch.
+    obs::sketch::Telemetry::global().set_epoch_churn(epoch.churn_ases, epoch.churn_prefixes,
+                                                     epoch.churn_links);
+    census_.reset_epoch_churn();
     ++result.epochs;
     epochs_total_.inc();
     last_epoch_applied = result.applied;

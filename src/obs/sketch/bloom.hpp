@@ -1,0 +1,95 @@
+// Bloom filter seen-set pre-filter.
+//
+// k probe positions per item via double hashing (Kirsch & Mitzenmacher:
+// h1 + i*h2 is as good as k independent hashes), bits in a flat
+// vector<uint64_t>.  `insert()` returns whether the item was *already*
+// present — exactly the hit/miss signal the ingest pre-filter counts —
+// and `merge()` is the bitwise OR, so per-shard filters combine in any
+// order to the same bits.
+//
+// False positives only, never false negatives: a "hit" may be wrong at
+// the configured rate, a "miss" is always a genuinely new item.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/sketch/hash.hpp"
+
+namespace htor::obs::sketch {
+
+class Bloom {
+ public:
+  /// `expected_items` at `fp_rate` sizes the filter with the standard
+  /// m = -n ln(p) / (ln 2)^2 and k = (m/n) ln 2 formulas.
+  explicit Bloom(std::size_t expected_items = 1 << 20, double fp_rate = 0.01,
+                 std::uint64_t seed = 0)
+      : seed_(seed) {
+    if (expected_items == 0) throw std::invalid_argument("Bloom: expected_items must be > 0");
+    if (!(fp_rate > 0.0) || !(fp_rate < 1.0)) {
+      throw std::invalid_argument("Bloom: fp_rate out of (0, 1)");
+    }
+    const double ln2 = 0.6931471805599453;
+    const double m = -static_cast<double>(expected_items) * std::log(fp_rate) / (ln2 * ln2);
+    n_bits_ = std::max<std::size_t>(64, (static_cast<std::size_t>(m) + 63) & ~std::size_t{63});
+    hashes_ = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               std::lround(static_cast<double>(n_bits_) / static_cast<double>(expected_items) * ln2)));
+    bits_.assign(n_bits_ / 64, 0);
+  }
+
+  std::size_t bit_count() const { return n_bits_; }
+  std::uint32_t hash_count() const { return hashes_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Insert and report prior membership (subject to false positives).
+  bool insert(std::uint64_t item) {
+    const std::uint64_t h1 = hash64(seeded(seed_, 0), item);
+    const std::uint64_t h2 = hash64(seeded(seed_, 1), item) | 1;  // odd => full cycle
+    bool was_present = true;
+    for (std::uint32_t i = 0; i < hashes_; ++i) {
+      const std::uint64_t bit = (h1 + i * h2) % n_bits_;
+      std::uint64_t& word = bits_[bit >> 6];
+      const std::uint64_t mask = std::uint64_t{1} << (bit & 63);
+      if ((word & mask) == 0) {
+        was_present = false;
+        word |= mask;
+      }
+    }
+    return was_present;
+  }
+
+  bool contains(std::uint64_t item) const {
+    const std::uint64_t h1 = hash64(seeded(seed_, 0), item);
+    const std::uint64_t h2 = hash64(seeded(seed_, 1), item) | 1;
+    for (std::uint32_t i = 0; i < hashes_; ++i) {
+      const std::uint64_t bit = (h1 + i * h2) % n_bits_;
+      if ((bits_[bit >> 6] & (std::uint64_t{1} << (bit & 63))) == 0) return false;
+    }
+    return true;
+  }
+
+  /// Bitwise OR.  Throws on shape/seed mismatch.
+  void merge(const Bloom& other) {
+    if (other.n_bits_ != n_bits_ || other.hashes_ != hashes_ || other.seed_ != seed_) {
+      throw std::invalid_argument("Bloom::merge: shape/seed mismatch");
+    }
+    for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+  }
+
+  void reset() { bits_.assign(bits_.size(), 0); }
+
+  const std::vector<std::uint64_t>& words() const { return bits_; }
+
+  std::size_t memory_bytes() const { return bits_.size() * sizeof(std::uint64_t); }
+
+ private:
+  std::uint64_t seed_;
+  std::size_t n_bits_ = 0;
+  std::uint32_t hashes_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace htor::obs::sketch

@@ -1,0 +1,156 @@
+// Process-wide sketch telemetry: the probabilistic counterpart of
+// obs::MetricsRegistry for values that are *sets*, not scalars.
+//
+// Exact per-entity counting (every AS, prefix, and link seen during ingest)
+// does not hold at internet scale — ~1M prefixes × hundreds of peers — so
+// this owner keeps HyperLogLogs for unique-entity cardinality, count-min
+// sketches for heavy hitters (busiest origin ASes, most-voted links), and a
+// Bloom seen-set pre-filter over links.  Memory is fixed no matter how big
+// the stream gets (~80 KiB total at the default shapes; see memory_bytes()).
+//
+// Feed discipline mirrors core/parallel.hpp: hot paths accumulate into
+// per-shard IngestBundles with no locking, and absorb() merges them in shard
+// order.  HLL merge (max) and Bloom merge (or) are order-independent, so
+// estimates are byte-identical at every --jobs value; the CMS counter plane
+// is order-independent too, only its heavy-hitter *candidate* set depends on
+// feed order — which is why the shard boundaries are fixed and
+// feed_link_votes takes a caller-sorted stream.
+//
+// Everything surfaces as `htor_sketch_*` callback metrics on
+// MetricsRegistry::global(), so GET /metrics and /v1/metrics pick the
+// estimates up without the daemon knowing any sketch exists.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "netbase/prefix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sketch/bloom.hpp"
+#include "obs/sketch/cms.hpp"
+#include "obs/sketch/hll.hpp"
+
+namespace htor::obs::sketch {
+
+/// Item derivations — the single definition of how census entities map into
+/// the uint64 sketch item space, shared by ingest, the live tier, and tests.
+inline std::uint64_t as_item(std::uint32_t asn) { return asn; }
+
+/// Canonical (unordered) link identity: smaller ASN in the high word.
+inline std::uint64_t link_item(std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t lo = std::min(a, b);
+  const std::uint32_t hi = std::max(a, b);
+  return (std::uint64_t{lo} << 32) | hi;
+}
+
+/// Prefix identity from the canonical (version, length, network bytes) form.
+inline std::uint64_t prefix_item(const Prefix& prefix) {
+  std::uint64_t h = hash_mix(static_cast<std::uint64_t>(prefix.version()) << 8 |
+                                 prefix.length(),
+                             0);
+  for (std::uint8_t b : prefix.address().bytes()) h = hash_mix(h, b);
+  return h;
+}
+
+/// Per-shard accumulator for the ingest hot path: built inside a shard_map
+/// lambda with no locking, merged into the global Telemetry in shard order.
+struct IngestBundle {
+  Hll ases{Hll::kDefaultPrecision, kTelemetrySeed};
+  Hll prefixes{Hll::kDefaultPrecision, kTelemetrySeed};
+  Hll links{Hll::kDefaultPrecision, kTelemetrySeed};
+  Cms origins{Cms::kDefaultWidthLog2, Cms::kDefaultDepth, Cms::kDefaultTopK, kTelemetrySeed};
+
+  /// Record one observed route: its prefix, every AS on the (collapsed)
+  /// path, every adjacent link, and the origin AS (last hop) as one more
+  /// route for that origin.
+  void add_route(const Prefix& prefix, const std::vector<std::uint32_t>& as_path) {
+    prefixes.add(prefix_item(prefix));
+    std::uint32_t prev = 0;
+    bool have_prev = false;
+    for (const std::uint32_t asn : as_path) {
+      if (have_prev && asn == prev) continue;  // prepending collapses
+      ases.add(as_item(asn));
+      if (have_prev) links.add(link_item(prev, asn));
+      prev = asn;
+      have_prev = true;
+    }
+    if (have_prev) origins.update(as_item(prev));
+  }
+
+  void merge(const IngestBundle& other) {
+    ases.merge(other.ases);
+    prefixes.merge(other.prefixes);
+    links.merge(other.links);
+    origins.merge(other.origins);
+  }
+};
+
+/// Global owner of the process's sketches.  All access is mutex-guarded —
+/// the hot paths touch it once per shard (absorb) or once per applied route
+/// (the Bloom pre-filter, which runs on the sequential apply leg anyway).
+class Telemetry {
+ public:
+  /// Never destroyed, like MetricsRegistry::global(): callback metrics
+  /// registered in the constructor stay valid through static teardown.
+  static Telemetry& global();
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  /// Merge one shard's accumulator.  Call in shard order.
+  void absorb(const IngestBundle& bundle);
+
+  /// Bloom "seen this link?" pre-filter: inserts and returns prior
+  /// membership, counting the answer as hit or miss.
+  bool note_link_seen(std::uint64_t link);
+
+  /// Feed the post-merge community-vote tallies (item = packed LinkKey,
+  /// weight = total votes).  The caller sorts by item first so the CMS
+  /// heavy-hitter candidate set never depends on map iteration order.
+  void feed_link_votes(const std::vector<std::pair<std::uint64_t, std::uint64_t>>& votes);
+
+  /// Publish the latest live-census epoch's churn cardinality estimates
+  /// (from the epoch-scoped HLLs the live tier owns).
+  void set_epoch_churn(std::int64_t ases, std::int64_t prefixes, std::int64_t links);
+
+  /// Everything the census report / `inspect` heavy-hitters table needs,
+  /// captured under one lock.
+  struct Snapshot {
+    std::int64_t unique_ases = 0;
+    std::int64_t unique_prefixes = 0;
+    std::int64_t unique_links = 0;
+    std::uint64_t bloom_hits = 0;
+    std::uint64_t bloom_misses = 0;
+    std::uint64_t origin_routes_total = 0;  ///< CMS stream weight (= routes fed)
+    std::vector<Cms::HeavyHitter> top_origins;
+    std::vector<Cms::HeavyHitter> top_link_votes;
+    std::size_t memory_bytes = 0;
+  };
+  Snapshot snapshot() const;
+
+  /// Zero every sketch and counter (a fresh census run, test isolation).
+  /// Callback registrations persist.
+  void reset();
+
+ private:
+  Telemetry();
+
+  mutable std::mutex mutex_;
+  Hll ases_;
+  Hll prefixes_;
+  Hll links_;
+  Cms origins_;
+  Cms link_votes_;
+  Bloom seen_links_;
+  std::uint64_t bloom_hits_ = 0;
+  std::uint64_t bloom_misses_ = 0;
+  std::int64_t epoch_churn_ases_ = 0;
+  std::int64_t epoch_churn_prefixes_ = 0;
+  std::int64_t epoch_churn_links_ = 0;
+
+  std::vector<CallbackMetric> registrations_;
+};
+
+}  // namespace htor::obs::sketch

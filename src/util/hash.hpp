@@ -3,26 +3,18 @@
 // Some per-(AS, origin) decisions (TE overrides, geo tags) must be
 // reproducible at route-extraction time without replaying a sequential RNG;
 // they are derived from splitmix64 of the participating identifiers instead.
+//
+// The primitives themselves live in obs/sketch/hash.hpp — the one file
+// allowed to carry raw mixing constants (tools/lint.py `raw-hash`).  This
+// header just re-exports them under the historical `htor::` names.
 #pragma once
 
-#include <cstdint>
+#include "obs/sketch/hash.hpp"
 
 namespace htor {
 
-inline std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-inline std::uint64_t hash_mix(std::uint64_t a, std::uint64_t b) {
-  return splitmix64(a ^ splitmix64(b));
-}
-
-/// Deterministic uniform double in [0, 1) from a hash value.
-inline double hash_unit(std::uint64_t h) {
-  return static_cast<double>(splitmix64(h) >> 11) * 0x1.0p-53;
-}
+using obs::sketch::hash_mix;
+using obs::sketch::hash_unit;
+using obs::sketch::splitmix64;
 
 }  // namespace htor

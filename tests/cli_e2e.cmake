@@ -60,7 +60,9 @@ foreach(needle
         "IPv6 links with relationship"
         "dual-stack links"
         "hybrid links"
-        "IPv6 valley paths")
+        "IPv6 valley paths"
+        "sketch telemetry"
+        "unique ASes (HLL)")
   string(FIND "${census_j1}" "${needle}" at)
   if(at EQUAL -1)
     message(FATAL_ERROR "census report is missing line '${needle}':\n${census_j1}")

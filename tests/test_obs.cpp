@@ -118,6 +118,28 @@ TEST(MetricsRegistry, ResetValuesKeepsHandlesValid) {
   EXPECT_EQ(reg.counter_value("n"), 1u);
 }
 
+// reset_values must also drop the callback metrics' cached last-scrape
+// state: a stale cache would let polled_value report a pre-reset value as
+// if the post-reset world had been scraped.  (The counter/histogram half of
+// reset is covered above; this pins the callback half.)
+TEST(MetricsRegistry, ResetValuesDropsCallbackLastScrapeCache) {
+  MetricsRegistry reg;
+  std::int64_t depth = 5;
+  CallbackMetric cb = reg.callback("cache_depth", {}, MetricsRegistry::Kind::Gauge,
+                                   [&] { return depth; });
+  // Nothing scraped yet: the cache is empty.
+  EXPECT_EQ(reg.polled_value("cache_depth"), 0);
+  (void)reg.render_prometheus();
+  EXPECT_EQ(reg.polled_value("cache_depth"), 5);
+
+  reg.reset_values();
+  EXPECT_EQ(reg.polled_value("cache_depth"), 0);
+
+  // The registration survived the reset; the next scrape re-polls.
+  (void)reg.polled_samples();
+  EXPECT_EQ(reg.polled_value("cache_depth"), 5);
+}
+
 // The core concurrency claim: kShards cache-line cells merged at scrape
 // time lose no increments under real contention.  8 threads (more than
 // some shard assignments, exercising both exclusive and shared cells when

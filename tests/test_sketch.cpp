@@ -1,0 +1,469 @@
+// Tests for the probabilistic sketch layer (src/obs/sketch/): HyperLogLog,
+// count-min, and Bloom determinism and merge discipline.
+//
+// The claims under test are the ones the telemetry design rests on
+// (telemetry.hpp header comment):
+//   * merge() is associative, commutative, and (for HLL/Bloom) idempotent,
+//     so per-shard sketches merged in shard order are byte-identical to a
+//     sequential feed — at every shard count and every --jobs value;
+//   * estimates stay within the repo's 2%-of-exact acceptance bound at
+//     10k / 100k / 1M items on pinned seeds;
+//   * the full ingest path (rib_from_records over a thread pool) yields
+//     identical Telemetry snapshots for --jobs 1 and --jobs 4, including on
+//     a ≥100k-AS synthetic internet (the acceptance-criteria scale).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "gen/internet.hpp"
+#include "mrt/rib_view.hpp"
+#include "obs/sketch/bloom.hpp"
+#include "obs/sketch/cms.hpp"
+#include "obs/sketch/hll.hpp"
+#include "obs/sketch/telemetry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace htor::obs::sketch {
+namespace {
+
+// Pinned, structure-free item streams: distinct by construction (an offset
+// range), scrambled only by the sketch's own hash.
+std::vector<std::uint64_t> item_stream(std::uint64_t base, std::size_t n) {
+  std::vector<std::uint64_t> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) items.push_back(base + i);
+  return items;
+}
+
+// ------------------------------------------------------------------- HLL
+
+TEST(Hll, SmallRangeUsesLinearCountingExactly) {
+  Hll hll(Hll::kDefaultPrecision, kTelemetrySeed);
+  EXPECT_TRUE(hll.empty());
+  EXPECT_EQ(hll.estimate_count(), 0);
+
+  for (std::uint64_t item : item_stream(100, 1000)) hll.add(item);
+  EXPECT_FALSE(hll.empty());
+  // 1000 items in 16384 registers sit deep in the linear-counting regime:
+  // the estimate is within a fraction of a percent of exact.
+  EXPECT_NEAR(static_cast<double>(hll.estimate_count()), 1000.0, 20.0);
+
+  // Re-adding the same stream is a no-op: the registers saturate.
+  const auto before = hll.registers();
+  for (std::uint64_t item : item_stream(100, 1000)) hll.add(item);
+  EXPECT_EQ(hll.registers(), before);
+}
+
+TEST(Hll, ErrorWithinTwoPercentAt10k100k1M) {
+  // Two pinned bases per size: different streams, same bound.  p=14 has a
+  // standard error of ~0.81%, so 2% is ~2.5 sigma — comfortably stable for
+  // fixed seeds.
+  const std::uint64_t bases[] = {0x12345678ull, 0xdeadbeef0000ull};
+  for (const std::size_t n : {std::size_t{10'000}, std::size_t{100'000}, std::size_t{1'000'000}}) {
+    for (const std::uint64_t base : bases) {
+      Hll hll(Hll::kDefaultPrecision, kTelemetrySeed);
+      for (std::uint64_t item : item_stream(base, n)) hll.add(item);
+      const double estimate = hll.estimate();
+      const double error = std::abs(estimate - static_cast<double>(n)) / static_cast<double>(n);
+      EXPECT_LE(error, 0.02) << "n=" << n << " base=" << base << " estimate=" << estimate;
+    }
+  }
+}
+
+TEST(Hll, MergeIsCommutativeAssociativeIdempotent) {
+  Hll a(Hll::kDefaultPrecision, kTelemetrySeed);
+  Hll b(Hll::kDefaultPrecision, kTelemetrySeed);
+  Hll c(Hll::kDefaultPrecision, kTelemetrySeed);
+  for (std::uint64_t item : item_stream(0, 5000)) a.add(item);
+  for (std::uint64_t item : item_stream(3000, 5000)) b.add(item);  // overlaps a
+  for (std::uint64_t item : item_stream(90000, 2000)) c.add(item);
+
+  // Commutative: a∪b == b∪a, register for register.
+  Hll ab = a;
+  ab.merge(b);
+  Hll ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.registers(), ba.registers());
+
+  // Associative: (a∪b)∪c == a∪(b∪c).
+  Hll abc_left = ab;
+  abc_left.merge(c);
+  Hll bc = b;
+  bc.merge(c);
+  Hll abc_right = a;
+  abc_right.merge(bc);
+  EXPECT_EQ(abc_left.registers(), abc_right.registers());
+
+  // Idempotent: merging a sketch into itself changes nothing.
+  Hll aa = a;
+  aa.merge(a);
+  EXPECT_EQ(aa.registers(), a.registers());
+}
+
+TEST(Hll, ShardedFeedsMergeByteIdenticalAtEveryShardCount) {
+  const auto items = item_stream(0xc0ffee, 50'000);
+
+  Hll sequential(Hll::kDefaultPrecision, kTelemetrySeed);
+  for (std::uint64_t item : items) sequential.add(item);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{32}}) {
+    std::vector<Hll> parts(shards, Hll(Hll::kDefaultPrecision, kTelemetrySeed));
+    // Round-robin partition: each shard sees an interleaved slice, i.e. a
+    // feed order very different from sequential.
+    for (std::size_t i = 0; i < items.size(); ++i) parts[i % shards].add(items[i]);
+    Hll merged(Hll::kDefaultPrecision, kTelemetrySeed);
+    for (const Hll& part : parts) merged.merge(part);
+    EXPECT_EQ(merged.registers(), sequential.registers()) << "shards=" << shards;
+  }
+}
+
+TEST(Hll, MergeRejectsShapeMismatch) {
+  Hll a(14, kTelemetrySeed);
+  Hll precision(12, kTelemetrySeed);
+  Hll seed(14, kTelemetrySeed + 1);
+  EXPECT_THROW(a.merge(precision), std::invalid_argument);
+  EXPECT_THROW(a.merge(seed), std::invalid_argument);
+  EXPECT_THROW(Hll(3), std::invalid_argument);
+  EXPECT_THROW(Hll(19), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- CMS
+
+TEST(Cms, NeverUndercountsAndRecoversPlantedHeavyHitters) {
+  Cms cms(Cms::kDefaultWidthLog2, Cms::kDefaultDepth, Cms::kDefaultTopK, kTelemetrySeed);
+  const struct {
+    std::uint64_t item;
+    std::uint64_t weight;
+  } planted[] = {{1, 5000}, {2, 3000}, {3, 2000}};
+  for (const auto& p : planted) cms.update(p.item, p.weight);
+  // Uniform noise: 10k singleton items.
+  std::uint64_t noise_total = 0;
+  for (std::uint64_t item : item_stream(1000, 10'000)) {
+    cms.update(item);
+    ++noise_total;
+  }
+  EXPECT_EQ(cms.total_weight(), 5000u + 3000u + 2000u + noise_total);
+
+  // Point queries only overcount, and by at most 2N/width with high
+  // probability (N = 20000, width 4096 -> bound ~10; allow 4x slack).
+  for (const auto& p : planted) {
+    EXPECT_GE(cms.query(p.item), p.weight);
+    EXPECT_LE(cms.query(p.item), p.weight + 40);
+  }
+
+  // The heavy hitters dominate the top list, in weight order.
+  const auto top = cms.top();
+  ASSERT_GE(top.size(), 3u);
+  EXPECT_EQ(top[0].item, 1u);
+  EXPECT_EQ(top[1].item, 2u);
+  EXPECT_EQ(top[2].item, 3u);
+}
+
+TEST(Cms, ShardedSortedFeedsMergeToIdenticalCounters) {
+  // The counter plane is pure addition, so any partition of the stream
+  // merges to byte-identical counters and total weight.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> feed;
+  for (std::uint64_t i = 0; i < 20'000; ++i) feed.emplace_back(i * 7 + 1, (i % 13) + 1);
+
+  Cms sequential(Cms::kDefaultWidthLog2, Cms::kDefaultDepth, Cms::kDefaultTopK, kTelemetrySeed);
+  for (const auto& [item, weight] : feed) sequential.update(item, weight);
+
+  for (const std::size_t shards : {std::size_t{4}, std::size_t{32}}) {
+    std::vector<Cms> parts(
+        shards, Cms(Cms::kDefaultWidthLog2, Cms::kDefaultDepth, Cms::kDefaultTopK, kTelemetrySeed));
+    // Contiguous ranges, like core::shard_ranges cuts record batches.
+    const std::size_t chunk = feed.size() / shards;
+    for (std::size_t i = 0; i < feed.size(); ++i) {
+      parts[std::min(i / chunk, shards - 1)].update(feed[i].first, feed[i].second);
+    }
+    Cms merged(Cms::kDefaultWidthLog2, Cms::kDefaultDepth, Cms::kDefaultTopK, kTelemetrySeed);
+    for (const Cms& part : parts) merged.merge(part);
+    EXPECT_EQ(merged.counters(), sequential.counters()) << "shards=" << shards;
+    EXPECT_EQ(merged.total_weight(), sequential.total_weight());
+  }
+}
+
+TEST(Cms, IdenticalFeedsGiveIdenticalTopLists) {
+  auto run = [] {
+    Cms cms(Cms::kDefaultWidthLog2, Cms::kDefaultDepth, Cms::kDefaultTopK, kTelemetrySeed);
+    for (std::uint64_t i = 0; i < 5000; ++i) cms.update(i % 600, 1 + i % 3);
+    return cms.top();
+  };
+  const auto first = run();
+  const auto second = run();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].item, second[i].item);
+    EXPECT_EQ(first[i].estimate, second[i].estimate);
+  }
+}
+
+TEST(Cms, MergeRejectsShapeMismatch) {
+  Cms a(12, 4, 16, kTelemetrySeed);
+  EXPECT_THROW(a.merge(Cms(11, 4, 16, kTelemetrySeed)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Cms(12, 3, 16, kTelemetrySeed)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Cms(12, 4, 8, kTelemetrySeed)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Cms(12, 4, 16, kTelemetrySeed + 1)), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- Bloom
+
+TEST(Bloom, NoFalseNegativesAndBoundedFalsePositives) {
+  Bloom bloom(100'000, 0.01, kTelemetrySeed);
+  const auto members = item_stream(0, 50'000);
+  for (std::uint64_t item : members) {
+    EXPECT_FALSE(bloom.contains(item));  // fresh filter: genuinely new
+    bloom.insert(item);
+  }
+  // Never a false negative.
+  for (std::uint64_t item : members) EXPECT_TRUE(bloom.contains(item));
+  // insert() reports prior membership the second time around.
+  EXPECT_TRUE(bloom.insert(members.front()));
+
+  // False-positive rate at half load stays near the configured 1%; 3x
+  // headroom keeps the pinned-seed assertion far from the noise floor.
+  std::size_t false_positives = 0;
+  const auto non_members = item_stream(1u << 30, 50'000);
+  for (std::uint64_t item : non_members) {
+    if (bloom.contains(item)) ++false_positives;
+  }
+  EXPECT_LE(false_positives, 50'000 * 3 / 100);
+}
+
+TEST(Bloom, ShardedInsertsMergeToIdenticalBits) {
+  const auto items = item_stream(0xabcdef, 30'000);
+  Bloom sequential(1 << 16, 0.01, kTelemetrySeed);
+  for (std::uint64_t item : items) sequential.insert(item);
+
+  for (const std::size_t shards : {std::size_t{4}, std::size_t{32}}) {
+    std::vector<Bloom> parts(shards, Bloom(1 << 16, 0.01, kTelemetrySeed));
+    for (std::size_t i = 0; i < items.size(); ++i) parts[i % shards].insert(items[i]);
+    Bloom merged(1 << 16, 0.01, kTelemetrySeed);
+    for (const Bloom& part : parts) merged.merge(part);
+    EXPECT_EQ(merged.words(), sequential.words()) << "shards=" << shards;
+  }
+}
+
+TEST(Bloom, MergeRejectsShapeMismatch) {
+  Bloom a(1 << 16, 0.01, kTelemetrySeed);
+  EXPECT_THROW(a.merge(Bloom(1 << 12, 0.01, kTelemetrySeed)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Bloom(1 << 16, 0.01, kTelemetrySeed + 1)), std::invalid_argument);
+  EXPECT_THROW(Bloom(0, 0.01), std::invalid_argument);
+  EXPECT_THROW(Bloom(100, 0.0), std::invalid_argument);
+  EXPECT_THROW(Bloom(100, 1.0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- IngestBundle
+
+TEST(IngestBundle, CollapsesPrependingAndCountsTheOrigin) {
+  IngestBundle bundle;
+  const Prefix prefix = Prefix::parse("10.0.0.0/24");
+  // 20 prepended twice: the AS set is {10,20,30}, links {10-20, 20-30},
+  // origin 30.
+  bundle.add_route(prefix, {10, 20, 20, 30});
+  EXPECT_EQ(bundle.ases.estimate_count(), 3);
+  EXPECT_EQ(bundle.links.estimate_count(), 2);
+  EXPECT_EQ(bundle.prefixes.estimate_count(), 1);
+  const auto top = bundle.origins.top();
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].item, as_item(30));
+  EXPECT_EQ(top[0].estimate, 1u);
+
+  // The same prefix again adds no new cardinality, one more origin route.
+  bundle.add_route(prefix, {10, 20, 30});
+  EXPECT_EQ(bundle.prefixes.estimate_count(), 1);
+  EXPECT_EQ(bundle.origins.top()[0].estimate, 2u);
+}
+
+TEST(IngestBundle, LinkIdentityIsDirectionless) {
+  IngestBundle forward;
+  IngestBundle backward;
+  const Prefix prefix = Prefix::parse("10.1.0.0/24");
+  forward.add_route(prefix, {10, 20, 30});
+  backward.add_route(prefix, {30, 20, 10});
+  EXPECT_EQ(forward.links.registers(), backward.links.registers());
+  EXPECT_EQ(link_item(10, 20), link_item(20, 10));
+}
+
+TEST(IngestBundle, ShardPartitionsMergeByteIdentical) {
+  // Real generator routes, partitioned like the ingest shard map cuts
+  // record batches: contiguous ranges, merged in shard order.  The HLL
+  // registers and CMS counter plane must match a single sequential bundle
+  // bit for bit at every shard count.
+  const auto net = gen::SyntheticInternet::generate(gen::small_params(7));
+  const auto rib = net.collect();
+  const auto& routes = rib.routes();
+  ASSERT_GT(routes.size(), 5'000u);
+
+  IngestBundle sequential;
+  for (const auto& route : routes) sequential.add_route(route.prefix, route.as_path);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{32}}) {
+    std::vector<IngestBundle> parts(shards);
+    const std::size_t chunk = routes.size() / shards;
+    for (std::size_t i = 0; i < routes.size(); ++i) {
+      const auto& route = routes[i];
+      parts[std::min(i / chunk, shards - 1)].add_route(route.prefix, route.as_path);
+    }
+    IngestBundle merged;
+    for (const IngestBundle& part : parts) merged.merge(part);
+
+    EXPECT_EQ(merged.ases.registers(), sequential.ases.registers()) << "shards=" << shards;
+    EXPECT_EQ(merged.prefixes.registers(), sequential.prefixes.registers());
+    EXPECT_EQ(merged.links.registers(), sequential.links.registers());
+    EXPECT_EQ(merged.origins.counters(), sequential.origins.counters());
+    EXPECT_EQ(merged.origins.total_weight(), sequential.origins.total_weight());
+  }
+}
+
+// -------------------------------------------------------------- Telemetry
+
+/// Exact entity counts of a RIB, derived exactly as the bundles derive
+/// their items, so the comparison isolates sketch error.
+struct ExactCounts {
+  std::unordered_set<std::uint64_t> ases;
+  std::unordered_set<std::uint64_t> prefixes;
+  std::unordered_set<std::uint64_t> links;
+
+  explicit ExactCounts(const mrt::ObservedRib& rib) {
+    for (const auto& route : rib.routes()) {
+      prefixes.insert(prefix_item(route.prefix));
+      std::uint32_t prev = 0;
+      bool have_prev = false;
+      for (const std::uint32_t asn : route.as_path) {
+        if (have_prev && asn == prev) continue;
+        ases.insert(as_item(asn));
+        if (have_prev) links.insert(link_item(prev, asn));
+        prev = asn;
+        have_prev = true;
+      }
+    }
+  }
+};
+
+void expect_within_two_percent(std::int64_t estimate, std::size_t exact, const char* what) {
+  const double error = std::abs(static_cast<double>(estimate) - static_cast<double>(exact)) /
+                       static_cast<double>(exact);
+  EXPECT_LE(error, 0.02) << what << ": estimate " << estimate << " vs exact " << exact;
+}
+
+void expect_snapshots_equal(const Telemetry::Snapshot& a, const Telemetry::Snapshot& b) {
+  EXPECT_EQ(a.unique_ases, b.unique_ases);
+  EXPECT_EQ(a.unique_prefixes, b.unique_prefixes);
+  EXPECT_EQ(a.unique_links, b.unique_links);
+  EXPECT_EQ(a.bloom_hits, b.bloom_hits);
+  EXPECT_EQ(a.bloom_misses, b.bloom_misses);
+  EXPECT_EQ(a.origin_routes_total, b.origin_routes_total);
+  ASSERT_EQ(a.top_origins.size(), b.top_origins.size());
+  for (std::size_t i = 0; i < a.top_origins.size(); ++i) {
+    EXPECT_EQ(a.top_origins[i].item, b.top_origins[i].item);
+    EXPECT_EQ(a.top_origins[i].estimate, b.top_origins[i].estimate);
+  }
+}
+
+TEST(Telemetry, RibIngestSnapshotsIdenticalAcrossJobsAndAccurate) {
+  const auto net = gen::SyntheticInternet::generate(gen::small_params(7));
+  const auto rib = net.collect();
+  const auto records = mrt::records_from_rib(rib, 1, "sketch-test", 1281052800u);
+  const ExactCounts exact(rib);
+
+  auto& telemetry = Telemetry::global();
+  std::vector<Telemetry::Snapshot> snapshots;
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    telemetry.reset();
+    ThreadPool pool(jobs);
+    const auto loaded = mrt::rib_from_records(records, pool);
+    EXPECT_EQ(loaded.routes().size(), rib.routes().size());
+    snapshots.push_back(telemetry.snapshot());
+  }
+  // --jobs 1 and --jobs 4 agree on everything, heavy-hitter lists included:
+  // the shard boundaries are fixed (core::kCensusShards), only the worker
+  // count differs.
+  expect_snapshots_equal(snapshots[0], snapshots[1]);
+
+  expect_within_two_percent(snapshots[0].unique_ases, exact.ases.size(), "unique ASes");
+  expect_within_two_percent(snapshots[0].unique_prefixes, exact.prefixes.size(),
+                            "unique prefixes");
+  expect_within_two_percent(snapshots[0].unique_links, exact.links.size(), "unique links");
+
+  // Every route contributed its origin to the CMS stream.
+  EXPECT_EQ(snapshots[0].origin_routes_total, rib.routes().size());
+  // Bloom: one miss per distinct link, the rest hits (false positives can
+  // only move a miss to a hit, never invent extra misses).
+  EXPECT_LE(snapshots[0].bloom_misses, exact.links.size());
+  EXPECT_GE(snapshots[0].bloom_misses, exact.links.size() * 98 / 100);
+
+  telemetry.reset();
+}
+
+TEST(Telemetry, NoteLinkSeenCountsHitsAndMisses) {
+  auto& telemetry = Telemetry::global();
+  telemetry.reset();
+  EXPECT_FALSE(telemetry.note_link_seen(link_item(10, 20)));  // new
+  EXPECT_TRUE(telemetry.note_link_seen(link_item(20, 10)));   // same link
+  EXPECT_FALSE(telemetry.note_link_seen(link_item(10, 30)));  // new
+  const auto snap = telemetry.snapshot();
+  EXPECT_EQ(snap.bloom_hits, 1u);
+  EXPECT_EQ(snap.bloom_misses, 2u);
+  telemetry.reset();
+}
+
+TEST(Telemetry, SketchGaugesReachThePrometheusExposition) {
+  auto& telemetry = Telemetry::global();
+  telemetry.reset();
+  IngestBundle bundle;
+  bundle.add_route(Prefix::parse("10.2.0.0/24"), {10, 20, 30});
+  telemetry.absorb(bundle);
+  telemetry.set_epoch_churn(7, 8, 9);
+
+  const std::string text = MetricsRegistry::global().render_prometheus();
+  EXPECT_NE(text.find("htor_sketch_unique_as_estimate 3"), std::string::npos);
+  EXPECT_NE(text.find("htor_sketch_unique_prefixes_estimate 1"), std::string::npos);
+  EXPECT_NE(text.find("htor_sketch_unique_links_estimate 2"), std::string::npos);
+  EXPECT_NE(text.find("htor_sketch_epoch_churn_estimate{kind=\"as\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("htor_sketch_epoch_churn_estimate{kind=\"prefix\"} 8"), std::string::npos);
+  EXPECT_NE(text.find("htor_sketch_epoch_churn_estimate{kind=\"link\"} 9"), std::string::npos);
+  EXPECT_NE(text.find("htor_sketch_memory_bytes"), std::string::npos);
+
+  telemetry.reset();
+  // reset() zeroes the sketches themselves; the registrations persist and
+  // the next scrape polls fresh zeros.
+  const std::string after = MetricsRegistry::global().render_prometheus();
+  EXPECT_NE(after.find("htor_sketch_unique_as_estimate 0"), std::string::npos);
+  EXPECT_NE(after.find("htor_sketch_epoch_churn_estimate{kind=\"as\"} 0"), std::string::npos);
+}
+
+// The acceptance-criteria scale: a ≥100k-AS synthetic internet, ingested at
+// --jobs 1 and 4, must give byte-identical snapshots and HLL estimates
+// within 2% of exact.  collect_scaled keeps this test in seconds — the
+// route synthesis is O(N·vantages), and two vantages already yield ~200k
+// routes over >100k ASes.
+TEST(Telemetry, HundredThousandAsInternetWithinTwoPercentAtEveryJobs) {
+  const auto net = gen::SyntheticInternet::generate(gen::scale_params(100'100, 42));
+  ASSERT_GE(net.graph().as_count(), 100'000u);
+  const auto rib = net.collect_scaled(2);
+  const auto records = mrt::records_from_rib(rib, 1, "sketch-scale", 1281052800u);
+  const ExactCounts exact(rib);
+  ASSERT_GE(exact.ases.size(), 100'000u);
+
+  auto& telemetry = Telemetry::global();
+  std::vector<Telemetry::Snapshot> snapshots;
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    telemetry.reset();
+    ThreadPool pool(jobs);
+    const auto loaded = mrt::rib_from_records(records, pool);
+    EXPECT_EQ(loaded.routes().size(), rib.routes().size());
+    snapshots.push_back(telemetry.snapshot());
+  }
+  expect_snapshots_equal(snapshots[0], snapshots[1]);
+  expect_within_two_percent(snapshots[0].unique_ases, exact.ases.size(), "unique ASes");
+  expect_within_two_percent(snapshots[0].unique_prefixes, exact.prefixes.size(),
+                            "unique prefixes");
+  expect_within_two_percent(snapshots[0].unique_links, exact.links.size(), "unique links");
+  telemetry.reset();
+}
+
+}  // namespace
+}  // namespace htor::obs::sketch

@@ -92,6 +92,7 @@
 #include "mrt/stream_reader.hpp"
 #include "mrt/writer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sketch/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "rpsl/object.hpp"
 #include "server/daemon.hpp"
@@ -156,7 +157,7 @@ std::optional<std::uint16_t> parse_port(const std::string& value) {
 
 int usage() {
   std::cerr << "usage:\n"
-               "  hybridtor generate [--update-events N] <outdir> [seed]\n"
+               "  hybridtor generate [--update-events N] [--scale N] <outdir> [seed]\n"
                "  hybridtor census [--jobs N] [--no-stream] [--snapshot-out <file>]\n"
                "                   [--stats] [--trace-out <file>] <rib.mrt> <irr.txt>\n"
                "  hybridtor inspect <rib.mrt>\n"
@@ -204,6 +205,18 @@ std::optional<std::size_t> parse_update_events(const std::string& value) {
   return static_cast<std::size_t>(parsed);
 }
 
+/// Strict parse for generate --scale (total AS count for the scale preset;
+/// the upper bound is what the ASN paging in gen/internet.cpp can host).
+std::optional<std::size_t> parse_scale(const std::string& value) {
+  std::uint64_t parsed = 0;
+  if (!parse_u64(value, parsed) || parsed < 1000 || parsed > 1'000'000) {
+    std::cerr << "error: --scale expects an integer in [1000, 1000000], got '" << value
+              << "'\n";
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
 std::string read_text_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw Error("cannot open '" + path + "'");
@@ -212,18 +225,22 @@ std::string read_text_file(const std::string& path) {
   return os.str();
 }
 
-int cmd_generate(const std::string& outdir, std::uint64_t seed, std::size_t update_events) {
+int cmd_generate(const std::string& outdir, std::uint64_t seed, std::size_t update_events,
+                 std::size_t scale) {
   std::error_code ec;
   std::filesystem::create_directories(outdir, ec);
   if (ec) {
     throw Error("cannot create output directory '" + outdir + "': " + ec.message());
   }
 
-  gen::GenParams params;
+  // --scale switches to the internet-scale preset and the O(N) synthetic
+  // collector; the default keeps the paper-calibrated net and the full
+  // propagation collector.
+  gen::GenParams params = scale > 0 ? gen::scale_params(scale, seed) : gen::GenParams{};
   params.seed = seed;
   std::cout << "generating (seed " << seed << ", " << params.total_ases() << " ASes)...\n";
   const auto net = gen::SyntheticInternet::generate(params);
-  const auto rib = net.collect();
+  const auto rib = scale > 0 ? net.collect_scaled() : net.collect();
 
   mrt::MrtWriter writer;
   for (const auto& record : mrt::records_from_rib(rib, 0x0a0a0a0au, "hybridtor", 1281052800u)) {
@@ -356,6 +373,33 @@ int cmd_census(const std::string& mrt_path, const std::string& irr_path, std::si
     top.print(std::cout);
   }
 
+  // Sketch telemetry fed during ingest + inference.  Only path-independent
+  // values appear here: HLL estimates, the Bloom hit/miss split (fed in
+  // record order on the sequential apply leg), and the post-merge link-vote
+  // heavy hitters — so this section honours the same byte-identity contract
+  // across --jobs and --no-stream that the rest of the report does.
+  const auto sketch = obs::sketch::Telemetry::global().snapshot();
+  std::cout << "\nsketch telemetry (~" << sketch.memory_bytes / 1024 << " KiB resident):\n";
+  Table sk({"estimate", "value"});
+  sk.row({"unique ASes (HLL)", "~" + std::to_string(sketch.unique_ases)});
+  sk.row({"unique prefixes (HLL)", "~" + std::to_string(sketch.unique_prefixes)});
+  sk.row({"unique AS links (HLL)", "~" + std::to_string(sketch.unique_links)});
+  sk.row({"link bloom pre-filter", std::to_string(sketch.bloom_hits) + " hits / " +
+                                       std::to_string(sketch.bloom_misses) + " misses"});
+  sk.print(std::cout);
+  if (!sketch.top_link_votes.empty()) {
+    std::cout << "\nmost-voted links (CMS estimates):\n";
+    Table votes({"link", "~votes"});
+    for (std::size_t i = 0; i < sketch.top_link_votes.size() && i < 10; ++i) {
+      const auto& hh = sketch.top_link_votes[i];
+      const auto a = static_cast<std::uint32_t>(hh.item >> 32);
+      const auto b = static_cast<std::uint32_t>(hh.item);
+      votes.row({"AS" + std::to_string(a) + "-AS" + std::to_string(b),
+                 std::to_string(hh.estimate)});
+    }
+    votes.print(std::cout);
+  }
+
   if (snapshot_out) {
     const auto snap = core::to_snapshot(census, mrt_path, rib_epoch(mrt_path));
     snapshot::Writer::write_file(snap, *snapshot_out);
@@ -375,7 +419,10 @@ int cmd_census(const std::string& mrt_path, const std::string& irr_path, std::si
 
 int cmd_inspect(const std::string& mrt_path) {
   // Streamed record-at-a-time decode: constant memory however large the dump.
+  // The sketch bundle keeps that property — fixed-size estimates instead of
+  // exact per-entity sets, which is the whole point of the telemetry layer.
   mrt::MrtStreamReader stream(mrt_path);
+  obs::sketch::IngestBundle sketches;
   std::size_t pit = 0;
   std::size_t rib4 = 0;
   std::size_t rib6 = 0;
@@ -390,6 +437,9 @@ int cmd_inspect(const std::string& mrt_path) {
     } else if (const auto* r = std::get_if<mrt::RibPrefixRecord>(&record.body)) {
       (r->prefix.version() == IpVersion::V4 ? rib4 : rib6) += 1;
       entries += r->entries.size();
+      for (const auto& entry : r->entries) {
+        sketches.add_route(r->prefix, entry.attrs.as_path.flatten());
+      }
     } else if (std::holds_alternative<mrt::Bgp4mpMessage>(record.body)) {
       ++bgp4mp;
     } else {
@@ -403,7 +453,20 @@ int cmd_inspect(const std::string& mrt_path) {
             << "  RIB_IPV6_UNICAST: " << rib6 << "\n"
             << "  BGP4MP:           " << bgp4mp << "\n"
             << "  other/raw:        " << raw << "\n"
-            << "  RIB entries:      " << entries << "\n";
+            << "  RIB entries:      " << entries << "\n"
+            << "  unique ASes:      ~" << sketches.ases.estimate_count() << "\n"
+            << "  unique prefixes:  ~" << sketches.prefixes.estimate_count() << "\n"
+            << "  unique AS links:  ~" << sketches.links.estimate_count() << "\n";
+  const auto top = sketches.origins.top();
+  if (!top.empty()) {
+    std::cout << "\ntop origin ASes by RIB routes (CMS estimates over "
+              << sketches.origins.total_weight() << " routes):\n";
+    Table t({"origin", "~routes"});
+    for (std::size_t i = 0; i < top.size() && i < 10; ++i) {
+      t.row({"AS" + std::to_string(top[i].item), std::to_string(top[i].estimate)});
+    }
+    t.print(std::cout);
+  }
   return 0;
 }
 
@@ -569,6 +632,10 @@ void serve_signal(int sig) {
 }
 
 int cmd_serve(const std::string& snap_path, std::uint16_t port, std::size_t jobs) {
+  // Touch the sketch telemetry singleton so the htor_sketch_* gauges exist
+  // (as zeros) on a snapshot-serving daemon too — a scrape config sees the
+  // same series whether or not this process ever ingested a RIB.
+  (void)obs::sketch::Telemetry::global();
   server::DaemonConfig config;
   config.port = port;
   config.jobs = jobs;
@@ -634,7 +701,8 @@ int cmd_follow(const std::string& rib_path, const std::string& irr_path,
               << epoch.applied << ", routes " << census.rib().size() << ", v6 links "
               << r.v6_links << ", typed v6 "
               << r.v6_coverage.covered_links << ", dual " << r.dual_links << ", hybrids "
-              << r.hybrids.hybrids.size() << "\n";
+              << r.hybrids.hybrids.size() << ", churn ~" << epoch.churn_ases << " AS/~"
+              << epoch.churn_prefixes << " pfx/~" << epoch.churn_links << " link\n";
   });
 
   const auto& apply = census.rib().stats();
@@ -715,6 +783,7 @@ int main(int argc, char** argv) {
   std::optional<std::uint64_t> epoch_every;
   std::optional<std::size_t> ring_capacity;
   std::optional<std::size_t> update_events;
+  std::optional<std::size_t> scale;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--no-stream") {
@@ -768,6 +837,21 @@ int main(int argc, char** argv) {
       const auto parsed = parse_update_events(value);
       if (!parsed) return 2;
       update_events = *parsed;
+      continue;
+    }
+    if (arg == "--scale" || arg.rfind("--scale=", 0) == 0) {
+      std::string value;
+      if (arg.size() > 7 && arg[7] == '=') {
+        value = arg.substr(8);
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::cerr << "error: --scale requires a value\n";
+        return 2;
+      }
+      const auto parsed = parse_scale(value);
+      if (!parsed) return 2;
+      scale = *parsed;
       continue;
     }
     if (arg == "--stats") {
@@ -875,6 +959,10 @@ int main(int argc, char** argv) {
     std::cerr << "error: --update-events is only valid with the generate subcommand\n";
     return 2;
   }
+  if (scale && cmd != "generate") {
+    std::cerr << "error: --scale is only valid with the generate subcommand\n";
+    return 2;
+  }
   try {
     if (cmd == "generate" && (args.size() == 2 || args.size() == 3)) {
       std::uint64_t seed = 42;
@@ -883,7 +971,7 @@ int main(int argc, char** argv) {
         if (!parsed) return 2;
         seed = *parsed;
       }
-      return cmd_generate(args[1], seed, update_events.value_or(0));
+      return cmd_generate(args[1], seed, update_events.value_or(0), scale.value_or(0));
     }
     if (cmd == "census" && args.size() == 3) {
       return cmd_census(args[1], args[2], jobs.value_or(1), streaming, snapshot_out, stats,
